@@ -1,0 +1,41 @@
+// §5 "AS Relationship Inference": paths acquired with DNSRoute++ show
+// AS_in == AS_out for 62% of usable paths, yielding provider-customer
+// relationships — 41 of which were unknown to CAIDA's inference.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odns;
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_scale=*/0.01);
+  bench::print_header("§5 — AS relationship inference from DNSRoute++ paths",
+                      args);
+
+  auto result = bench::run_standard_census(args);
+  auto routes = core::run_dnsroute(result, /*max_ttl=*/28);
+  const auto& rel = routes.relationships;
+
+  util::Table t({"Metric", "Value"});
+  t.add_row({"Complete paths considered",
+             std::to_string(rel.paths_considered)});
+  t.add_row({"Paths with AS_in/AS_out mapping",
+             std::to_string(rel.paths_with_as_mapping)});
+  t.add_row({"AS_in == AS_out",
+             std::to_string(rel.as_in_equals_as_out) + " (" +
+                 util::Table::fmt_percent(
+                     rel.paths_with_as_mapping == 0
+                         ? 0.0
+                         : static_cast<double>(rel.as_in_equals_as_out) /
+                               static_cast<double>(rel.paths_with_as_mapping),
+                     1) +
+                 ")"});
+  t.add_row({"Distinct provider-customer edges inferred",
+             std::to_string(rel.inferred_provider_customer)});
+  t.add_row({"... of which unknown to the CAIDA-like registry",
+             std::to_string(rel.unknown_to_caida)});
+  t.print(std::cout);
+
+  bench::print_paper_note(
+      "§5: 27k usable paths, AS_in == AS_out for 62%, 41 provider-customer "
+      "relationships unknown to CAIDA.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+// Shared plumbing for the per-table/figure bench binaries: flag
+// parsing, census construction, and the paper-vs-measured framing that
+// EXPERIMENTS.md records.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/census.hpp"
+#include "core/report.hpp"
+
+namespace odns::bench {
+
+struct BenchArgs {
+  double scale = 0.02;
+  std::uint64_t seed = 2021;
+
+  static BenchArgs parse(int argc, char** argv, double default_scale = 0.02) {
+    BenchArgs args;
+    args.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--scale=", 0) == 0) {
+        args.scale = std::atof(arg.c_str() + 8);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed = static_cast<std::uint64_t>(
+            std::strtoull(arg.c_str() + 7, nullptr, 10));
+      } else if (arg == "--help") {
+        std::cout << "usage: " << argv[0] << " [--scale=F] [--seed=N]\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+inline core::CensusResult run_standard_census(const BenchArgs& args) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = args.scale;
+  cfg.topology.seed = args.seed;
+  return core::run_census(cfg);
+}
+
+inline void print_header(const std::string& title, const BenchArgs& args) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "scale=" << args.scale << " seed=" << args.seed
+            << "  (counts are ~scale x the April-2021 population;\n"
+            << "   shares, rankings and orderings are the reproduction"
+            << " target)\n"
+            << "==========================================================\n\n";
+}
+
+inline void print_paper_note(const std::string& note) {
+  std::cout << "\nPaper reference: " << note << "\n";
+}
+
+}  // namespace odns::bench

@@ -1,0 +1,38 @@
+// §6 + Appendix E: what the transparent forwarders are.
+//  * Device fingerprinting (Shodan/Censys banners): ~23% of covered
+//    hosts are MikroTik; half of those fully cover their /24.
+//  * AS classification of the top-100 TF ASes: 79 eyeball ISPs, 14
+//    unclassified, 65 with 32-bit ASNs; top-100 cover 50% of all TFs.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odns;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("§6 / Appendix E — device and AS attribution", args);
+
+  auto result = bench::run_standard_census(args);
+
+  const auto devices = classify::device_attribution(
+      result.census, result.classified, result.registry);
+  std::cout << "Device fingerprinting:\n";
+  core::report::devices_table(devices).print(std::cout);
+  if (devices.mikrotik > 0) {
+    std::cout << "MikroTik devices fully covering their /24: "
+              << util::Table::fmt_percent(
+                     static_cast<double>(devices.mikrotik_in_full_24) /
+                         static_cast<double>(devices.mikrotik),
+                     1)
+              << " (paper: ~50%)\n";
+  }
+
+  std::cout << "\nAS classification (top 100 by TF count):\n";
+  const auto ases =
+      classify::classify_ases(result.census, result.registry, 100);
+  core::report::as_classification_table(ases).print(std::cout);
+
+  bench::print_paper_note(
+      "§6: 23% MikroTik of 80k fingerprinted; top-100 ASes = 50% of TFs, "
+      "79 eyeball, 14 unclassified, 65 with 32-bit ASNs.");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 4: the top-50 countries by transparent forwarders — ODNS
+// component shares, AS counts and emerging-market flags.
+// Paper anchors: BRA/IND > 80% transparent; CHN ~2%; emerging markets
+// dominate the top of the ranking.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odns;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Figure 4 — top-50 countries by transparent forwarders",
+                      args);
+
+  auto result = bench::run_standard_census(args);
+  core::report::fig4_top_countries(result.census, 50).print(std::cout);
+
+  int emerging = 0;
+  int shown = 0;
+  for (const auto* report : result.census.countries_by_tf()) {
+    if (shown >= 50 || report->tf == 0) break;
+    ++shown;
+    if (core::report::is_emerging(report->code)) ++emerging;
+  }
+  std::cout << "\nEmerging markets among the top-" << shown << ": "
+            << emerging << " (paper: 16 starred of the top-50; 8 of the 9 "
+            << "countries above 10k TFs).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 6: DNSRoute++ — distribution of path lengths between
+// transparent forwarders and their recursive resolvers, per project.
+// Paper: Cloudflare mean 6.3 hops < Google 7.9 < OpenDNS 9.3.
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odns;
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_scale=*/0.01);
+  bench::print_header(
+      "Figure 6 — forwarder-to-resolver path lengths (DNSRoute++)", args);
+
+  auto result = bench::run_standard_census(args);
+  auto routes = core::run_dnsroute(result, /*max_ttl=*/28);
+
+  std::size_t complete = 0;
+  for (const auto& p : routes.paths) {
+    if (p.complete()) ++complete;
+  }
+  std::cout << "Traced " << routes.paths.size()
+            << " transparent forwarders; " << complete
+            << " paths survived sanitization; " << routes.samples.size()
+            << " attributed to a public resolver project.\n\n";
+
+  core::report::fig6_path_lengths(routes.samples).print(std::cout);
+
+  // Per-project CDFs over hop counts.
+  std::map<topo::ResolverProject, std::vector<double>> hops;
+  for (const auto& s : routes.samples) {
+    hops[s.project].push_back(static_cast<double>(s.hops));
+  }
+  for (const auto project :
+       {topo::ResolverProject::cloudflare, topo::ResolverProject::google,
+        topo::ResolverProject::opendns}) {
+    auto it = hops.find(project);
+    if (it == hops.end()) continue;
+    std::cout << "\n" << topo::to_string(project)
+              << " CDF (x: hops, y: cumulative):\n"
+              << util::render_cdf_ascii(util::empirical_cdf(it->second), 48, 8);
+  }
+  bench::print_paper_note(
+      "Fig. 6: Cloudflare 6.3 mean hops (8,271 fwds / 129 ASNs), Google 7.9 "
+      "(57,725 / 925), OpenDNS 9.3 (3,963 / 141). Ordering CF < Google < "
+      "OpenDNS is the reproduction target.");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 7 (appendix): two transparent forwarders relay to the same
+// recursive resolver; both answers arrive from one source address.
+// Only the unique (client port, TXID) tuple attributes each response
+// to the right probe — IP-based matching is shown failing.
+
+#include "bench_common.hpp"
+#include "nodes/forwarder.hpp"
+#include "scan/txscanner.hpp"
+#include "topo/deployment.hpp"
+
+using namespace odns;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, /*default_scale=*/0.002);
+  bench::print_header(
+      "Figure 7 — transaction disambiguation behind a shared resolver", args);
+
+  topo::TopologyConfig cfg;
+  cfg.scale = args.scale;
+  cfg.seed = args.seed;
+  cfg.max_countries = 2;
+  auto world = topo::TopologyBuilder::build(cfg);
+  auto& net = world->sim().net();
+
+  // Two transparent forwarders in one access network, both relaying to
+  // Google's anycast address (the paper's 203.0.113.1/.2 pair).
+  const auto* eyeball =
+      net.find_as(world->ground_truth().front().asn);
+  const netsim::Asn asn = eyeball->cfg.asn;
+  const util::Prefix block{util::Ipv4{203, 0, 113, 0}, 24};
+  net.announce(asn, block);
+  const util::Ipv4 fwd1{203, 0, 113, 1};
+  const util::Ipv4 fwd2{203, 0, 113, 2};
+  const auto h1 = net.add_host(asn, {fwd1});
+  const auto h2 = net.add_host(asn, {fwd2});
+  nodes::TransparentForwarder tf1(world->sim(), h1, util::Ipv4{8, 8, 8, 8});
+  nodes::TransparentForwarder tf2(world->sim(), h2, util::Ipv4{8, 8, 8, 8});
+  tf1.install();
+  tf2.install();
+
+  scan::ScanConfig sc;
+  sc.qname = world->scan_name();
+  scan::TransactionalScanner scanner(world->sim(), world->scanner_host(), sc);
+  scanner.start({fwd1, fwd2});
+  scanner.run_to_completion();
+
+  std::cout << "Probe log:\n";
+  util::Table probes({"#", "Target", "Src port", "TXID"});
+  for (std::size_t i = 0; i < scanner.probes().size(); ++i) {
+    const auto& p = scanner.probes()[i];
+    probes.add_row({std::to_string(i + 1), p.target.to_string(),
+                    std::to_string(p.src_port), std::to_string(p.txid)});
+  }
+  probes.print(std::cout);
+
+  std::cout << "\nCapture log (the scanner's dumpcap view):\n";
+  util::Table capture({"#", "Response src", "Dst port", "TXID", "A records"});
+  for (std::size_t i = 0; i < scanner.capture().size(); ++i) {
+    const auto& r = scanner.capture()[i];
+    std::string addrs;
+    for (const auto a : r.answer_addrs) {
+      if (!addrs.empty()) addrs += " ";
+      addrs += a.to_string();
+    }
+    capture.add_row({std::to_string(i + 1), r.src.to_string(),
+                     std::to_string(r.dst_port), std::to_string(r.txid),
+                     addrs});
+  }
+  capture.print(std::cout);
+
+  std::cout << "\nCorrelated transactions (tuple join):\n";
+  util::Table txns({"Target", "Response src", "Classified as"});
+  classify::ClassifyConfig cc;
+  cc.control_addr = world->control_addr();
+  for (const auto& txn : scanner.correlate()) {
+    txns.add_row({txn.target.to_string(), txn.response_src.to_string(),
+                  classify::to_string(classify::classify_one(txn, cc))});
+  }
+  txns.print(std::cout);
+
+  // The counterfactual: IP-only matching cannot attribute either
+  // response (both sources identical, neither equals a probed target).
+  std::size_t ip_matchable = 0;
+  for (const auto& r : scanner.capture()) {
+    for (const auto& p : scanner.probes()) {
+      if (p.target == r.src) {
+        ++ip_matchable;
+        break;
+      }
+    }
+  }
+  std::cout << "\nIP-only matching would attribute " << ip_matchable
+            << " of " << scanner.capture().size()
+            << " responses (tuple matching attributed all, unambiguously).\n";
+  bench::print_paper_note(
+      "Appendix Fig. 7: both responses arrive from the resolver's address; "
+      "client port + DNS TXID recover the originating probe.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 5: top-20 countries ranked by ODNS components — this work
+// (transactional scan, strict validation) vs. a response-based
+// Shadowserver-style campaign on the same population. The paper sees
+// rank shifts of up to 12 positions (Turkey +12, Brazil +4, ...).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odns;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::print_header("Table 5 — country ranking: this work vs Shadowserver",
+                      args);
+
+  auto result = bench::run_standard_census(args);
+  auto campaign = core::run_campaign(
+      *result.world, scan::CampaignKind::shadowserver,
+      util::Prefix{util::Ipv4{198, 18, 20, 0}, 24},
+      result.world->scan_targets());
+  const auto campaign_counts =
+      core::campaign_country_counts(*campaign, result.registry);
+
+  core::report::table5_rank_comparison(result.census, campaign_counts, 20)
+      .print(std::cout);
+
+  std::uint64_t campaign_total = 0;
+  for (const auto& [code, count] : campaign_counts) campaign_total += count;
+  std::cout << "\nTotals: this work " << result.census.odns_total()
+            << " ODNS components; campaign " << campaign_total
+            << " (misses all " << result.census.tf
+            << " transparent forwarders, sees manipulated recursive "
+               "speakers instead).\n";
+
+  // §4.2 ablation: single-record (Shadowserver-style) validation.
+  const auto relaxed = core::reanalyze(result, /*strict_validation=*/false);
+  std::cout << "\nValidation ablation:\n"
+            << "  strict two-record: rr+rf = " << result.census.rr +
+                   result.census.rf << ", invalid = "
+            << result.census.invalid << "\n"
+            << "  single-record:     rr+rf = " << relaxed.rr + relaxed.rf
+            << ", invalid = " << relaxed.invalid << "\n";
+  bench::print_paper_note(
+      "Table 5: e.g. Turkey rank 18->6 (+12), Brazil 6->2 (+4), Argentina "
+      "20->9 (+11) once transparent forwarders are counted.");
+  return 0;
+}

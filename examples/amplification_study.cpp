@@ -1,0 +1,116 @@
+// §6 misuse potential: transparent forwarders as invisible diffusers
+// for reflective amplification. An "attacker" in a SAV-free network
+// sends small queries with the victim's spoofed source address to a
+// set of transparent forwarders; the resolvers' (larger) answers land
+// on the victim, arriving from many distinct resolver PoPs even though
+// the attacker targeted a flat list of CPE devices.
+//
+// This is a defensive measurement: it quantifies the exposure that
+// motivates the paper's call to include transparent forwarders in
+// notification feeds, and shows how per-/24 response rate limiting
+// (the sensor defense) caps the same traffic.
+//
+//   $ ./examples/amplification_study
+
+#include <iostream>
+#include <unordered_set>
+
+#include "core/census.hpp"
+#include "dnswire/codec.hpp"
+#include "honeypot/lab.hpp"
+#include "util/table.hpp"
+
+using namespace odns;
+
+namespace {
+
+/// Counts the victim's unsolicited inbound DNS traffic.
+class VictimMeter : public netsim::App {
+ public:
+  void on_datagram(const netsim::Datagram& dgram) override {
+    ++responses;
+    bytes += dgram.payload->size();
+    sources.insert(dgram.src);
+  }
+  std::uint64_t responses = 0;
+  std::uint64_t bytes = 0;
+  std::unordered_set<util::Ipv4> sources;
+};
+
+}  // namespace
+
+int main() {
+  core::CensusConfig cfg;
+  cfg.topology.scale = 0.004;
+  cfg.topology.seed = 321;
+  auto result = core::run_census(cfg);
+  auto& world = *result.world;
+
+  // Victim and attacker networks.
+  const auto victim_host = honeypot::attach_vantage(
+      world, util::Prefix{util::Ipv4{198, 18, 40, 0}, 24},
+      util::Ipv4{198, 18, 40, 40});
+  const util::Ipv4 victim_addr{198, 18, 40, 40};
+  VictimMeter meter;
+  world.sim().bind_udp_wildcard(victim_host, &meter);
+
+  const auto attacker_host = honeypot::attach_vantage(
+      world, util::Prefix{util::Ipv4{198, 18, 41, 0}, 24},
+      util::Ipv4{198, 18, 41, 41}, /*sav=*/false);
+
+  // Reflector list: transparent forwarders found by the census.
+  std::vector<util::Ipv4> reflectors;
+  for (const auto& item : result.classified) {
+    if (item.klass == classify::Klass::transparent_forwarder) {
+      reflectors.push_back(item.txn.target);
+    }
+    if (reflectors.size() == 400) break;
+  }
+  std::cout << "Attacker spoofs " << victim_addr.to_string() << " toward "
+            << reflectors.size() << " transparent forwarders...\n";
+
+  const auto query = dnswire::make_query(
+      0x6666, world.scan_name(), dnswire::RrType::a);
+  const auto query_wire = dnswire::encode(query);
+  std::uint64_t attack_bytes = 0;
+  std::uint16_t port = 30000;
+  for (const auto reflector : reflectors) {
+    netsim::SendOptions opts;
+    opts.dst = reflector;
+    opts.src_port = port++;
+    opts.dst_port = 53;
+    opts.payload = query_wire;
+    opts.spoof_src = victim_addr;  // the reflection
+    attack_bytes += query_wire.size();
+    world.sim().send_udp(attacker_host, std::move(opts));
+  }
+  world.sim().run();
+
+  std::cout << "\nVictim received " << meter.responses
+            << " unsolicited responses (" << meter.bytes << " bytes) from "
+            << meter.sources.size() << " distinct source addresses.\n";
+  std::cout << "Bandwidth amplification factor: "
+            << util::Table::fmt_double(
+                   static_cast<double>(meter.bytes) /
+                       static_cast<double>(attack_bytes == 0 ? 1
+                                                             : attack_bytes),
+                   2)
+            << "x (attacker sent " << attack_bytes << " bytes)\n";
+
+  std::cout << "\nWhy this is hard to attribute: the victim's traffic "
+               "arrives from resolver service addresses ("
+            << [&] {
+                 std::size_t anycast = 0;
+                 for (const auto src : meter.sources) {
+                   if (classify::project_of_service_addr(src)) ++anycast;
+                 }
+                 return anycast;
+               }()
+            << " of them big-4 anycast), not from the "
+            << reflectors.size() << " CPE devices the attacker drove.\n";
+
+  std::cout << "\nA per-/24 response rate limit (the honeypot sensors' "
+               "defense) would cap this reflection at one response per "
+               "window per victim prefix.\n";
+  return 0;
+}

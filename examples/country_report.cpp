@@ -1,0 +1,86 @@
+// Per-country ODNS exposure report — the view a national CERT would
+// want (the paper notes CERTs rely on Shadowserver data and therefore
+// systematically under-estimate countries dominated by transparent
+// forwarders).
+//
+//   $ ./examples/country_report [ISO3 ...]       (default: BRA IND TUR)
+
+#include <iostream>
+#include <vector>
+
+#include "core/census.hpp"
+#include "core/report.hpp"
+
+using namespace odns;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) wanted.emplace_back(argv[i]);
+  if (wanted.empty()) wanted = {"BRA", "IND", "TUR"};
+
+  core::CensusConfig cfg;
+  cfg.topology.scale = 0.01;
+  cfg.topology.seed = 2021;
+  std::cout << "Running Internet-wide census (scale " << cfg.topology.scale
+            << ")...\n\n";
+  auto result = core::run_census(cfg);
+
+  // Shadowserver-equivalent view for the undercount comparison.
+  auto campaign = core::run_campaign(
+      *result.world, scan::CampaignKind::shadowserver,
+      util::Prefix{util::Ipv4{198, 18, 50, 0}, 24},
+      result.world->scan_targets());
+  const auto campaign_counts =
+      core::campaign_country_counts(*campaign, result.registry);
+
+  for (const auto& code : wanted) {
+    auto it = result.census.by_country.find(code);
+    if (it == result.census.by_country.end()) {
+      std::cout << "=== " << code << ": no ODNS components found ===\n\n";
+      continue;
+    }
+    const auto& c = it->second;
+    std::cout << "=== " << code
+              << (core::report::is_emerging(code) ? " (emerging market)" : "")
+              << " ===\n";
+    util::Table t({"Metric", "Value"});
+    t.add_row({"ODNS components (transactional scan)",
+               std::to_string(c.odns_total())});
+    const auto ss = campaign_counts.find(code);
+    t.add_row({"ODNS components (response-based view)",
+               std::to_string(ss == campaign_counts.end() ? 0 : ss->second)});
+    t.add_row({"Recursive resolvers", std::to_string(c.rr)});
+    t.add_row({"Recursive forwarders", std::to_string(c.rf)});
+    t.add_row({"Transparent forwarders",
+               std::to_string(c.tf) + " (" +
+                   util::Table::fmt_percent(c.tf_share(), 1) + ")"});
+    t.add_row({"ASes hosting transparent forwarders",
+               std::to_string(c.ases_with_tf)});
+    const char* names[] = {"Google", "Cloudflare", "Quad9", "OpenDNS",
+                           "Other"};
+    for (std::size_t p = 0; p < classify::kProjectCount; ++p) {
+      if (c.tf_by_project[p] == 0) continue;
+      t.add_row({std::string("  TF relaying to ") + names[p],
+                 std::to_string(c.tf_by_project[p])});
+    }
+    if (c.other_mapped > 0) {
+      t.add_row({"Indirect consolidation (of mapped 'other')",
+                 util::Table::fmt_percent(
+                     static_cast<double>(c.other_indirect) /
+                         static_cast<double>(c.other_mapped),
+                     1)});
+    }
+    if (auto asn = c.top_other_asn()) {
+      t.add_row({"Top 'other' response ASN", "AS" + std::to_string(*asn)});
+    }
+    t.print(std::cout);
+    const auto undercount =
+        ss == campaign_counts.end() ? c.odns_total()
+                                    : (c.odns_total() > ss->second
+                                           ? c.odns_total() - ss->second
+                                           : 0);
+    std::cout << "Exposure invisible to response-based feeds: " << undercount
+              << " components\n\n";
+  }
+  return 0;
+}

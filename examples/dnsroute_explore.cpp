@@ -1,0 +1,74 @@
+// DNSRoute++ exploration: pick a handful of transparent forwarders and
+// print their hop-by-hop paths — the hops *behind* the forwarder (up
+// to its recursive resolver) are exactly what classic traceroute never
+// shows.
+//
+//   $ ./examples/dnsroute_explore [scale]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/census.hpp"
+
+using namespace odns;
+
+int main(int argc, char** argv) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = argc > 1 ? std::atof(argv[1]) : 0.003;
+  cfg.topology.seed = 99;
+
+  std::cout << "Running census to find transparent forwarders...\n";
+  auto result = core::run_census(cfg);
+  std::cout << "Found " << result.census.tf << " transparent forwarders; "
+            << "tracing the first few with DNSRoute++.\n\n";
+
+  std::vector<util::Ipv4> targets;
+  for (const auto& item : result.classified) {
+    if (item.klass == classify::Klass::transparent_forwarder) {
+      targets.push_back(item.txn.target);
+      if (targets.size() == 5) break;
+    }
+  }
+
+  dnsroute::DnsrouteConfig rc;
+  rc.qname = result.world->scan_name();
+  rc.max_ttl = 28;
+  dnsroute::DnsroutePlusPlus tracer(result.world->sim(),
+                                    result.world->scanner_host(), rc);
+  const auto paths = tracer.run(targets);
+
+  for (const auto& path : paths) {
+    std::cout << "dnsroute++ to " << path.target.to_string() << "\n";
+    const int limit = path.answer_ttl > 0 ? path.answer_ttl
+                                          : static_cast<int>(path.hops.size());
+    for (int ttl = 1; ttl < limit; ++ttl) {
+      const auto& hop = path.hops[static_cast<std::size_t>(ttl - 1)];
+      std::cout << "  " << std::setw(2) << ttl << "  ";
+      if (!hop.responded) {
+        std::cout << "*";
+      } else {
+        std::cout << hop.addr.to_string();
+        if (auto asn = result.registry.routeviews.origin_of(hop.addr)) {
+          std::cout << "  [AS" << *asn << "]";
+        }
+        if (ttl == path.target_distance) {
+          std::cout << "  <-- the transparent forwarder itself";
+        }
+      }
+      std::cout << "\n";
+    }
+    if (path.got_answer) {
+      std::cout << "  " << std::setw(2) << path.answer_ttl << "  "
+                << path.resolver.to_string()
+                << "  <-- DNS answer (the forwarder's resolver)\n";
+      std::cout << "  forwarder -> resolver: "
+                << path.forwarder_to_resolver_hops() << " IP hops; path "
+                << (path.complete() ? "complete" : "incomplete") << "\n";
+    } else {
+      std::cout << "  (no DNS answer within TTL budget)\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,241 @@
+#include "classify/analysis.hpp"
+
+#include <algorithm>
+
+#include "topo/model.hpp"
+
+namespace odns::classify {
+
+std::optional<topo::ResolverProject> project_of_service_addr(util::Ipv4 addr) {
+  for (const auto& bp : topo::project_blueprints()) {
+    for (auto service : bp.service_addrs) {
+      if (service == addr) return bp.project;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<netsim::Asn> CountryReport::top_other_asn() const {
+  std::optional<netsim::Asn> best;
+  std::uint64_t best_count = 0;
+  for (const auto& [asn, count] : other_response_asns) {
+    if (count > best_count || (count == best_count && best && asn < *best)) {
+      best = asn;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<const CountryReport*> Census::countries_by_tf() const {
+  std::vector<const CountryReport*> out;
+  out.reserve(by_country.size());
+  for (const auto& [code, report] : by_country) out.push_back(&report);
+  std::sort(out.begin(), out.end(),
+            [](const CountryReport* a, const CountryReport* b) {
+              if (a->tf != b->tf) return a->tf > b->tf;
+              return a->code < b->code;
+            });
+  return out;
+}
+
+std::vector<const CountryReport*> Census::countries_by_odns() const {
+  std::vector<const CountryReport*> out;
+  out.reserve(by_country.size());
+  for (const auto& [code, report] : by_country) out.push_back(&report);
+  std::sort(out.begin(), out.end(),
+            [](const CountryReport* a, const CountryReport* b) {
+              if (a->odns_total() != b->odns_total()) {
+                return a->odns_total() > b->odns_total();
+              }
+              return a->code < b->code;
+            });
+  return out;
+}
+
+std::vector<std::pair<netsim::Asn, std::uint64_t>> Census::top_tf_ases(
+    std::size_t n) const {
+  std::vector<std::pair<netsim::Asn, std::uint64_t>> out(tf_by_asn.begin(),
+                                                         tf_by_asn.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<std::uint32_t> Census::tf_per_24_counts() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(tf_per_24.size());
+  for (const auto& [base, count] : tf_per_24) out.push_back(count);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double Census::tf_fraction_with_density_at_most(std::uint32_t limit) const {
+  if (tf == 0) return 0.0;
+  std::uint64_t covered = 0;
+  for (const auto& [base, count] : tf_per_24) {
+    if (count <= limit) covered += count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(tf);
+}
+
+double Census::tf_fraction_with_density_at_least(std::uint32_t limit) const {
+  if (tf == 0) return 0.0;
+  std::uint64_t covered = 0;
+  for (const auto& [base, count] : tf_per_24) {
+    if (count >= limit) covered += count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(tf);
+}
+
+Census analyze(const std::vector<Classified>& classified,
+               const registry::RegistrySnapshot& registry) {
+  Census census;
+  std::unordered_map<std::string, std::unordered_map<netsim::Asn, bool>>
+      country_tf_ases;
+
+  for (const auto& item : classified) {
+    const auto& txn = item.txn;
+    switch (item.klass) {
+      case Klass::unresponsive: ++census.unresponsive; break;
+      case Klass::invalid: ++census.invalid; break;
+      case Klass::recursive_resolver: ++census.rr; break;
+      case Klass::recursive_forwarder: ++census.rf; break;
+      case Klass::transparent_forwarder: ++census.tf; break;
+    }
+
+    const auto target_asn = registry.routeviews.origin_of(txn.target);
+    const auto country =
+        target_asn ? registry.whois.country_of(*target_asn) : std::nullopt;
+
+    if (item.klass == Klass::unresponsive || item.klass == Klass::invalid) {
+      // Only viable ODNS components enter the per-country composition;
+      // invalid responders are tracked globally.
+      continue;
+    }
+    if (!country) {
+      ++census.unmapped_country;
+      continue;
+    }
+    auto& report = census.by_country[*country];
+    report.code = *country;
+
+    switch (item.klass) {
+      case Klass::recursive_resolver: ++report.rr; break;
+      case Klass::recursive_forwarder: ++report.rf; break;
+      case Klass::transparent_forwarder: {
+        ++report.tf;
+        if (target_asn) {
+          ++census.tf_by_asn[*target_asn];
+          country_tf_ases[*country][*target_asn] = true;
+        }
+        ++census.tf_per_24[util::Prefix::covering24(txn.target).base().value()];
+        ++census.tf_responses_by_source[txn.response_src];
+
+        const auto project = project_of_service_addr(txn.response_src)
+                                 .value_or(topo::ResolverProject::other);
+        ++report.tf_by_project[project_index(project)];
+        if (project == topo::ResolverProject::other) {
+          if (const auto resp_asn =
+                  registry.routeviews.origin_of(txn.response_src)) {
+            ++report.other_response_asns[*resp_asn];
+          }
+          // Indirect consolidation: the forwarder answered via a local
+          // resolver, but that resolver itself forwarded to a big-4
+          // project — visible in the A_resolver record's origin AS.
+          if (const auto mirror = item.resolver_mirror()) {
+            if (const auto mirror_asn =
+                    registry.routeviews.origin_of(*mirror)) {
+              ++report.other_mapped;
+              if (registry.project_of_asn(*mirror_asn).has_value()) {
+                ++report.other_indirect;
+              }
+            }
+          }
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+
+  for (auto& [code, report] : census.by_country) {
+    report.ases_with_tf = country_tf_ases[code].size();
+  }
+  return census;
+}
+
+namespace {
+
+bool is_mikrotik(const registry::DeviceObservation& obs) {
+  if (obs.product.find("MikroTik") != std::string::npos) return true;
+  bool winbox = false;
+  bool btest = false;
+  for (auto port : obs.open_ports) {
+    winbox |= port == 8291;
+    btest |= port == 2000;
+  }
+  return winbox && btest;
+}
+
+}  // namespace
+
+DeviceReport device_attribution(const Census& census,
+                                const std::vector<Classified>& classified,
+                                const registry::RegistrySnapshot& registry) {
+  DeviceReport report;
+  report.tf_total = census.tf;
+  for (const auto& item : classified) {
+    if (item.klass != Klass::transparent_forwarder) continue;
+    const auto* obs = registry.shodan.find(item.txn.target);
+    if (obs == nullptr) continue;
+    ++report.fingerprinted;
+    const std::string product =
+        obs->product.empty() ? "unidentified" : obs->product;
+    ++report.by_product[product];
+    if (is_mikrotik(*obs)) {
+      ++report.mikrotik;
+      const auto base =
+          util::Prefix::covering24(item.txn.target).base().value();
+      if (auto it = census.tf_per_24.find(base);
+          it != census.tf_per_24.end() && it->second >= 254) {
+        ++report.mikrotik_in_full_24;
+      }
+    }
+  }
+  return report;
+}
+
+AsClassificationReport classify_ases(const Census& census,
+                                     const registry::RegistrySnapshot& registry,
+                                     std::size_t top_n) {
+  AsClassificationReport report;
+  const auto top = census.top_tf_ases(top_n);
+  report.top_n = top.size();
+  std::uint64_t covered = 0;
+  for (const auto& [asn, count] : top) {
+    covered += count;
+    if (asn > 65535) ++report.wide_asns;
+    if (auto type = registry.peeringdb.type_of(asn)) {
+      ++report.classified_peeringdb;
+      ++report.by_type[*type];
+      if (*type == topo::AsType::eyeball_isp) ++report.eyeball_total;
+    } else if (auto manual = registry.manual.type_of(asn)) {
+      ++report.classified_manual;
+      ++report.by_type[*manual];
+      if (*manual == topo::AsType::eyeball_isp) ++report.eyeball_total;
+    } else {
+      ++report.unclassified;
+    }
+  }
+  report.tf_coverage =
+      census.tf == 0 ? 0.0
+                     : static_cast<double>(covered) /
+                           static_cast<double>(census.tf);
+  return report;
+}
+
+}  // namespace odns::classify

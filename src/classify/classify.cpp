@@ -1,0 +1,47 @@
+#include "classify/classify.hpp"
+
+namespace odns::classify {
+
+std::string to_string(Klass k) {
+  switch (k) {
+    case Klass::transparent_forwarder: return "Transparent Forwarder";
+    case Klass::recursive_forwarder: return "Recursive Forwarder";
+    case Klass::recursive_resolver: return "Recursive Resolver";
+    case Klass::invalid: return "Invalid";
+    case Klass::unresponsive: return "Unresponsive";
+  }
+  return "?";
+}
+
+Klass classify_one(const scan::Transaction& txn, const ClassifyConfig& cfg) {
+  if (!txn.answered) return Klass::unresponsive;
+  if (txn.rcode != dnswire::Rcode::noerror) return Klass::unresponsive;
+  if (txn.answer_addrs.empty()) return Klass::unresponsive;
+
+  if (cfg.strict_two_records) {
+    // Robustness requirement: both records present and the static
+    // control record untouched; anything else is a manipulated or
+    // non-conforming response and is excluded from the ODNS.
+    if (txn.answer_addrs.size() < 2) return Klass::invalid;
+    if (*txn.control_a() != cfg.control_addr) return Klass::invalid;
+  }
+
+  const auto resolver = txn.dynamic_a();
+  if (txn.target != txn.response_src) return Klass::transparent_forwarder;
+  if (resolver.has_value() && txn.response_src == *resolver) {
+    return Klass::recursive_resolver;
+  }
+  return Klass::recursive_forwarder;
+}
+
+std::vector<Classified> classify_all(const std::vector<scan::Transaction>& txns,
+                                     const ClassifyConfig& cfg) {
+  std::vector<Classified> out;
+  out.reserve(txns.size());
+  for (const auto& txn : txns) {
+    out.push_back(Classified{txn, classify_one(txn, cfg)});
+  }
+  return out;
+}
+
+}  // namespace odns::classify

@@ -1,0 +1,91 @@
+#include "core/census.hpp"
+
+namespace odns::core {
+
+CensusResult run_census(const CensusConfig& cfg) {
+  CensusResult result;
+  result.world = topo::TopologyBuilder::build(cfg.topology);
+  result.registry =
+      registry::RegistrySnapshot::derive(*result.world, cfg.registry);
+
+  scan::ScanConfig sc;
+  sc.qname = result.world->scan_name();
+  sc.timeout = cfg.scan_timeout;
+  sc.probes_per_second = cfg.probes_per_second;
+  result.scanner = std::make_unique<scan::TransactionalScanner>(
+      result.world->sim(), result.world->scanner_host(), sc);
+  result.scanner->start(result.world->scan_targets());
+  result.scanner->run_to_completion();
+  result.transactions = result.scanner->correlate();
+
+  classify::ClassifyConfig cc;
+  cc.control_addr = result.world->control_addr();
+  cc.strict_two_records = cfg.strict_validation;
+  result.classified = classify::classify_all(result.transactions, cc);
+  result.census = classify::analyze(result.classified, result.registry);
+  return result;
+}
+
+classify::Census reanalyze(const CensusResult& result,
+                           bool strict_validation) {
+  classify::ClassifyConfig cc;
+  cc.control_addr = result.world->control_addr();
+  cc.strict_two_records = strict_validation;
+  const auto classified = classify::classify_all(result.transactions, cc);
+  return classify::analyze(classified, result.registry);
+}
+
+std::unique_ptr<scan::StatelessCampaign> run_campaign(
+    topo::Deployment& world, scan::CampaignKind kind, util::Prefix vantage,
+    const std::vector<util::Ipv4>& targets) {
+  const util::Ipv4 host_addr{vantage.base().value() + 7};
+  const auto host = honeypot::attach_vantage(world, vantage, host_addr);
+  scan::CampaignConfig cc;
+  cc.kind = kind;
+  cc.qname = world.scan_name();
+  auto campaign =
+      std::make_unique<scan::StatelessCampaign>(world.sim(), host, cc);
+  campaign->run(targets);
+  return campaign;
+}
+
+std::map<std::string, std::uint64_t> campaign_country_counts(
+    const scan::StatelessCampaign& campaign,
+    const registry::RegistrySnapshot& registry) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& addr : campaign.discovered()) {
+    if (auto country = registry.country_of(addr)) {
+      ++counts[*country];
+    }
+  }
+  return counts;
+}
+
+DnsrouteResult run_dnsroute(CensusResult& result, int max_ttl) {
+  std::vector<util::Ipv4> targets;
+  for (const auto& item : result.classified) {
+    if (item.klass == classify::Klass::transparent_forwarder) {
+      targets.push_back(item.txn.target);
+    }
+  }
+  dnsroute::DnsrouteConfig rc;
+  rc.qname = result.world->scan_name();
+  rc.max_ttl = max_ttl;
+  DnsrouteResult out;
+  {
+    dnsroute::DnsroutePlusPlus tracer(result.world->sim(),
+                                      result.world->scanner_host(), rc);
+    out.paths = tracer.run(targets);
+    // The tracer borrowed the scanner host's wildcard socket and ICMP
+    // sink; hand them back before it goes out of scope.
+    result.world->sim().set_icmp_handler(result.world->scanner_host(), {});
+    result.world->sim().bind_udp_wildcard(result.world->scanner_host(),
+                                          result.scanner.get());
+  }
+  out.samples = dnsroute::path_length_samples(out.paths, result.registry);
+  out.relationships =
+      dnsroute::infer_relationships(out.paths, result.registry);
+  return out;
+}
+
+}  // namespace odns::core

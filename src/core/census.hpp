@@ -1,0 +1,69 @@
+#pragma once
+// The paper's measurement system as a product: one call builds the
+// world, runs the transactional scan, correlates, classifies, joins
+// with the registries, and returns every analysis surface the paper's
+// tables and figures draw from. Step-wise entry points are exposed for
+// benches that need intermediate control (method ablations, campaign
+// comparisons, DNSRoute++).
+
+#include <memory>
+
+#include "classify/analysis.hpp"
+#include "dnsroute/dnsroute.hpp"
+#include "honeypot/lab.hpp"
+#include "scan/campaigns.hpp"
+#include "scan/txscanner.hpp"
+#include "topo/deployment.hpp"
+
+namespace odns::core {
+
+struct CensusConfig {
+  topo::TopologyConfig topology;
+  registry::SnapshotConfig registry;
+  util::Duration scan_timeout = util::Duration::seconds(20);
+  std::uint64_t probes_per_second = 20000;
+  /// Strict two-record validation (this work) vs. single-record
+  /// (Shadowserver-style) — the §4.2 ablation.
+  bool strict_validation = true;
+};
+
+struct CensusResult {
+  std::unique_ptr<topo::Deployment> world;
+  registry::RegistrySnapshot registry;
+  std::unique_ptr<scan::TransactionalScanner> scanner;
+  std::vector<scan::Transaction> transactions;
+  std::vector<classify::Classified> classified;
+  classify::Census census;
+};
+
+/// Full pipeline: topology → scan → correlate → classify → analyze.
+[[nodiscard]] CensusResult run_census(const CensusConfig& cfg);
+
+/// Re-classifies and re-analyzes an existing scan under different
+/// validation rules (cheap; reuses the transaction log).
+[[nodiscard]] classify::Census reanalyze(const CensusResult& result,
+                                         bool strict_validation);
+
+/// Runs a stateless campaign model against the same world from its own
+/// vantage network; returns the campaign (with its discovered set).
+[[nodiscard]] std::unique_ptr<scan::StatelessCampaign> run_campaign(
+    topo::Deployment& world, scan::CampaignKind kind, util::Prefix vantage,
+    const std::vector<util::Ipv4>& targets);
+
+/// Per-country ODNS counts as the campaign would publish them.
+[[nodiscard]] std::map<std::string, std::uint64_t> campaign_country_counts(
+    const scan::StatelessCampaign& campaign,
+    const registry::RegistrySnapshot& registry);
+
+struct DnsrouteResult {
+  std::vector<dnsroute::TracePath> paths;
+  std::vector<dnsroute::PathLengthSample> samples;
+  dnsroute::AsRelationshipReport relationships;
+};
+
+/// DNSRoute++ campaign over all transparent forwarders found by the
+/// census (or an explicit target list).
+[[nodiscard]] DnsrouteResult run_dnsroute(CensusResult& result,
+                                          int max_ttl = 30);
+
+}  // namespace odns::core

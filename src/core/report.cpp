@@ -1,0 +1,268 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "topo/model.hpp"
+#include "util/stats.hpp"
+
+namespace odns::core::report {
+
+using classify::Census;
+using classify::CountryReport;
+using util::Table;
+
+bool is_emerging(const std::string& country_code) {
+  for (const auto& p : topo::country_profiles()) {
+    if (p.code == country_code) return p.emerging;
+  }
+  return false;
+}
+
+Table table1_composition(const Census& census) {
+  Table t({"Component", "Count", "Share of ODNS"});
+  const double total = static_cast<double>(census.odns_total());
+  auto share = [total](std::uint64_t n) {
+    return total == 0.0 ? "0%" : Table::fmt_percent(
+                                     static_cast<double>(n) / total, 1);
+  };
+  t.add_row({"Recursive Resolvers", Table::fmt_count(census.rr),
+             share(census.rr)});
+  t.add_row({"Recursive Forwarders", Table::fmt_count(census.rf),
+             share(census.rf)});
+  t.add_row({"Transparent Forwarders", Table::fmt_count(census.tf),
+             share(census.tf)});
+  t.add_row({"All ODNSes", Table::fmt_count(census.odns_total()), "100%"});
+  return t;
+}
+
+Table table4_other_share(const Census& census, std::size_t top_n) {
+  // Rank countries by the absolute number of TFs answered by "other"
+  // (non-big-4) resolvers.
+  std::vector<const CountryReport*> rows;
+  for (const auto& [code, report] : census.by_country) rows.push_back(&report);
+  auto other_of = [](const CountryReport* r) {
+    return r->tf_by_project[classify::project_index(
+        topo::ResolverProject::other)];
+  };
+  std::sort(rows.begin(), rows.end(),
+            [&](const CountryReport* a, const CountryReport* b) {
+              if (other_of(a) != other_of(b)) return other_of(a) > other_of(b);
+              return a->code < b->code;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+
+  Table t({"Country", "Top ASN", "# Transparent Forwarders (other)",
+           "Indirect Consolidation"});
+  for (const auto* r : rows) {
+    const auto top_asn = r->top_other_asn();
+    const double indirect =
+        r->other_mapped == 0
+            ? 0.0
+            : static_cast<double>(r->other_indirect) /
+                  static_cast<double>(r->other_mapped);
+    t.add_row({r->code, top_asn ? std::to_string(*top_asn) : "-",
+               Table::fmt_count(other_of(r)),
+               Table::fmt_percent(indirect, 1)});
+  }
+  return t;
+}
+
+Table table5_rank_comparison(
+    const Census& ours,
+    const std::map<std::string, std::uint64_t>& campaign_counts,
+    std::size_t top_n) {
+  const auto ranked = ours.countries_by_odns();
+
+  // Campaign-side ranks.
+  std::vector<std::pair<std::string, std::uint64_t>> campaign(
+      campaign_counts.begin(), campaign_counts.end());
+  std::sort(campaign.begin(), campaign.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::map<std::string, std::size_t> campaign_rank;
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    campaign_rank[campaign[i].first] = i + 1;
+  }
+
+  Table t({"Country", "Rank (ours)", "#ODNS (ours)", "Rank (campaign)",
+           "#ODNS (campaign)", "Rank delta", "#ODNS delta"});
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const auto* r = ranked[i];
+    const auto it = campaign_counts.find(r->code);
+    const std::uint64_t theirs = it == campaign_counts.end() ? 0 : it->second;
+    const auto rank_it = campaign_rank.find(r->code);
+    const std::string their_rank =
+        rank_it == campaign_rank.end() ? "n/a"
+                                       : std::to_string(rank_it->second);
+    const std::int64_t delta =
+        static_cast<std::int64_t>(r->odns_total()) -
+        static_cast<std::int64_t>(theirs);
+    std::string rank_delta = "-";
+    if (rank_it != campaign_rank.end()) {
+      const auto d = static_cast<std::int64_t>(rank_it->second) -
+                     static_cast<std::int64_t>(i + 1);
+      rank_delta = (d > 0 ? "+" : "") + std::to_string(d);
+    }
+    t.add_row({r->code, std::to_string(i + 1),
+               Table::fmt_count(r->odns_total()), their_rank,
+               Table::fmt_count(theirs), rank_delta, std::to_string(delta)});
+  }
+  return t;
+}
+
+Table fig3_country_cdf(const Census& census, std::size_t max_rows) {
+  const auto ranked = census.countries_by_tf();
+  std::uint64_t total_tf = 0;
+  std::size_t with_tf = 0;
+  for (const auto* r : ranked) {
+    total_tf += r->tf;
+    if (r->tf > 0) ++with_tf;
+  }
+  Table t({"Rank", "Country", "# Transp. Fwd.", "Cumulative share"});
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    run += ranked[i]->tf;
+    const bool show = i < max_rows || i + 1 == ranked.size() ||
+                      (i + 1) % 25 == 0;
+    if (!show) continue;
+    t.add_row({std::to_string(i + 1), ranked[i]->code,
+               Table::fmt_count(ranked[i]->tf),
+               total_tf == 0 ? "0%"
+                             : Table::fmt_percent(
+                                   static_cast<double>(run) /
+                                       static_cast<double>(total_tf),
+                                   1)});
+  }
+  t.add_row({"-", "countries with TF", std::to_string(with_tf), ""});
+  t.add_row({"-", "countries without TF",
+             std::to_string(ranked.size() - with_tf), ""});
+  return t;
+}
+
+Table fig4_top_countries(const Census& census, std::size_t top_n) {
+  const auto ranked = census.countries_by_tf();
+  Table t({"Country", "Emerging", "#ASes w/ TF", "% Rec. Resolver",
+           "% Rec. Forwarder", "% Transp. Forwarder", "# Transp. Fwd."});
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const auto* r = ranked[i];
+    if (r->tf == 0) break;
+    const double total = static_cast<double>(r->odns_total());
+    t.add_row({r->code, is_emerging(r->code) ? "*" : "",
+               std::to_string(r->ases_with_tf),
+               Table::fmt_percent(static_cast<double>(r->rr) / total, 1),
+               Table::fmt_percent(static_cast<double>(r->rf) / total, 1),
+               Table::fmt_percent(static_cast<double>(r->tf) / total, 1),
+               Table::fmt_count(r->tf)});
+  }
+  return t;
+}
+
+Table fig5_project_shares(const Census& census, std::size_t top_n) {
+  const auto ranked = census.countries_by_tf();
+  Table t({"Country", "Google", "Cloudflare", "Quad9", "OpenDNS", "Other"});
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const auto* r = ranked[i];
+    if (r->tf == 0) break;
+    const double tf = static_cast<double>(r->tf);
+    std::vector<std::string> row{r->code};
+    for (std::size_t p = 0; p < classify::kProjectCount; ++p) {
+      row.push_back(Table::fmt_percent(
+          static_cast<double>(r->tf_by_project[p]) / tf, 1));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table fig6_path_lengths(
+    const std::vector<dnsroute::PathLengthSample>& samples) {
+  struct ProjectAgg {
+    std::vector<double> hops;
+    std::unordered_map<netsim::Asn, bool> asns;
+  };
+  std::map<topo::ResolverProject, ProjectAgg> agg;
+  for (const auto& s : samples) {
+    auto& a = agg[s.project];
+    a.hops.push_back(static_cast<double>(s.hops));
+    if (s.forwarder_asn != 0) a.asns[s.forwarder_asn] = true;
+  }
+  Table t({"Project", "Paths", "Fwd ASNs", "Mean hops", "Median", "p90",
+           "Max"});
+  for (auto& [project, a] : agg) {
+    t.add_row({topo::to_string(project), std::to_string(a.hops.size()),
+               std::to_string(a.asns.size()),
+               Table::fmt_double(util::mean(a.hops), 1),
+               Table::fmt_double(util::percentile(a.hops, 0.5), 1),
+               Table::fmt_double(util::percentile(a.hops, 0.9), 1),
+               Table::fmt_double(util::percentile(a.hops, 1.0), 0)});
+  }
+  return t;
+}
+
+Table fig8_prefix_density(const Census& census) {
+  Table t({"Density bucket (TFs per /24)", "Prefixes", "TFs",
+           "Cumulative TF share"});
+  const auto counts = census.tf_per_24_counts();
+  const double total = static_cast<double>(census.tf);
+  struct Bucket {
+    std::uint32_t lo;
+    std::uint32_t hi;
+  };
+  const Bucket buckets[] = {{1, 5},    {6, 25},    {26, 100},
+                            {101, 200}, {201, 253}, {254, 256}};
+  std::uint64_t cum = 0;
+  for (const auto& b : buckets) {
+    std::uint64_t prefixes = 0;
+    std::uint64_t tfs = 0;
+    for (auto c : counts) {
+      if (c >= b.lo && c <= b.hi) {
+        ++prefixes;
+        tfs += c;
+      }
+    }
+    cum += tfs;
+    t.add_row({std::to_string(b.lo) + "-" + std::to_string(b.hi),
+               Table::fmt_count(prefixes), Table::fmt_count(tfs),
+               total == 0.0 ? "0%" : Table::fmt_percent(
+                                         static_cast<double>(cum) / total, 1)});
+  }
+  t.add_row({"total /24s", Table::fmt_count(counts.size()),
+             Table::fmt_count(census.tf), "100%"});
+  return t;
+}
+
+Table devices_table(const classify::DeviceReport& report) {
+  Table t({"Metric", "Value"});
+  t.add_row({"Transparent forwarders", Table::fmt_count(report.tf_total)});
+  t.add_row({"With banner data", Table::fmt_count(report.fingerprinted)});
+  for (const auto& [product, count] : report.by_product) {
+    t.add_row({"  " + product, Table::fmt_count(count)});
+  }
+  t.add_row({"MikroTik (port signature)", Table::fmt_count(report.mikrotik)});
+  t.add_row({"MikroTik share of fingerprinted",
+             Table::fmt_percent(report.mikrotik_share_of_fingerprinted(), 1)});
+  t.add_row({"MikroTik in fully-populated /24s",
+             Table::fmt_count(report.mikrotik_in_full_24)});
+  return t;
+}
+
+Table as_classification_table(const classify::AsClassificationReport& report) {
+  Table t({"Metric", "Value"});
+  t.add_row({"Top ASes considered", std::to_string(report.top_n)});
+  t.add_row({"Share of all TFs covered",
+             Table::fmt_percent(report.tf_coverage, 1)});
+  for (const auto& [type, count] : report.by_type) {
+    t.add_row({"  " + topo::to_string(type), std::to_string(count)});
+  }
+  t.add_row({"Classified via PeeringDB",
+             std::to_string(report.classified_peeringdb)});
+  t.add_row({"Classified manually", std::to_string(report.classified_manual)});
+  t.add_row({"Unclassified", std::to_string(report.unclassified)});
+  t.add_row({"Eyeball (Cable/DSL/ISP) total",
+             std::to_string(report.eyeball_total)});
+  t.add_row({"32-bit ASNs", std::to_string(report.wide_asns)});
+  return t;
+}
+
+}  // namespace odns::core::report

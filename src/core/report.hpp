@@ -1,0 +1,59 @@
+#pragma once
+// Builders that render census/campaign/dnsroute results as the rows
+// and series the paper's tables and figures report. Benches print
+// these; tests assert on their underlying numbers.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classify/analysis.hpp"
+#include "dnsroute/dnsroute.hpp"
+#include "util/table.hpp"
+
+namespace odns::core::report {
+
+/// Emerging-market flag as starred in Fig. 4 (embedded profile data).
+[[nodiscard]] bool is_emerging(const std::string& country_code);
+
+/// Table 1: composition of the ODNS by component type.
+[[nodiscard]] util::Table table1_composition(const classify::Census& census);
+
+/// Table 4: top-N countries by absolute "other" share with their top
+/// response ASN and indirect-consolidation percentage.
+[[nodiscard]] util::Table table4_other_share(const classify::Census& census,
+                                             std::size_t top_n = 10);
+
+/// Table 5: country ranking, this work vs. a response-based campaign.
+[[nodiscard]] util::Table table5_rank_comparison(
+    const classify::Census& ours,
+    const std::map<std::string, std::uint64_t>& campaign_counts,
+    std::size_t top_n = 20);
+
+/// Fig. 3: cumulative share of transparent forwarders by country rank.
+[[nodiscard]] util::Table fig3_country_cdf(const classify::Census& census,
+                                           std::size_t max_rows = 30);
+
+/// Fig. 4: top-N countries — component shares and TF counts.
+[[nodiscard]] util::Table fig4_top_countries(const classify::Census& census,
+                                             std::size_t top_n = 50);
+
+/// Fig. 5: resolver-project popularity per top-N country.
+[[nodiscard]] util::Table fig5_project_shares(const classify::Census& census,
+                                              std::size_t top_n = 50);
+
+/// Fig. 6: forwarder→resolver path-length distribution per project.
+[[nodiscard]] util::Table fig6_path_lengths(
+    const std::vector<dnsroute::PathLengthSample>& samples);
+
+/// Fig. 8: transparent forwarders per covering /24 — density CDF.
+[[nodiscard]] util::Table fig8_prefix_density(const classify::Census& census);
+
+/// §6 devices: vendor attribution of fingerprint-visible TFs.
+[[nodiscard]] util::Table devices_table(const classify::DeviceReport& report);
+
+/// Appendix E: AS classification of the top-N TF-hosting ASes.
+[[nodiscard]] util::Table as_classification_table(
+    const classify::AsClassificationReport& report);
+
+}  // namespace odns::core::report

@@ -1,0 +1,118 @@
+#include "dnswire/message.hpp"
+
+namespace odns::dnswire {
+
+std::string to_string(RrType t) {
+  switch (t) {
+    case RrType::a: return "A";
+    case RrType::ns: return "NS";
+    case RrType::cname: return "CNAME";
+    case RrType::soa: return "SOA";
+    case RrType::ptr: return "PTR";
+    case RrType::mx: return "MX";
+    case RrType::txt: return "TXT";
+    case RrType::aaaa: return "AAAA";
+    case RrType::opt: return "OPT";
+    case RrType::any: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+std::string to_string(Rcode r) {
+  switch (r) {
+    case Rcode::noerror: return "NOERROR";
+    case Rcode::formerr: return "FORMERR";
+    case Rcode::servfail: return "SERVFAIL";
+    case Rcode::nxdomain: return "NXDOMAIN";
+    case Rcode::notimp: return "NOTIMP";
+    case Rcode::refused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<int>(r));
+}
+
+ResourceRecord ResourceRecord::a(const Name& name, util::Ipv4 addr,
+                                 std::uint32_t ttl) {
+  return ResourceRecord{name, RrType::a, RrClass::in, ttl, ARecord{addr}};
+}
+
+ResourceRecord ResourceRecord::ns(const Name& name, const Name& host,
+                                  std::uint32_t ttl) {
+  return ResourceRecord{name, RrType::ns, RrClass::in, ttl, NsRecord{host}};
+}
+
+ResourceRecord ResourceRecord::cname(const Name& name, const Name& target,
+                                     std::uint32_t ttl) {
+  return ResourceRecord{name, RrType::cname, RrClass::in, ttl,
+                        CnameRecord{target}};
+}
+
+ResourceRecord ResourceRecord::txt(const Name& name,
+                                   std::vector<std::string> strings,
+                                   std::uint32_t ttl) {
+  return ResourceRecord{name, RrType::txt, RrClass::in, ttl,
+                        TxtRecord{std::move(strings)}};
+}
+
+ResourceRecord ResourceRecord::soa(const Name& zone, const Name& mname,
+                                   std::uint32_t serial,
+                                   std::uint32_t minimum) {
+  SoaRecord soa;
+  soa.mname = mname;
+  soa.rname = *Name::parse("hostmaster." + zone.to_string());
+  soa.serial = serial;
+  soa.refresh = 7200;
+  soa.retry = 900;
+  soa.expire = 1209600;
+  soa.minimum = minimum;
+  return ResourceRecord{zone, RrType::soa, RrClass::in, minimum,
+                        std::move(soa)};
+}
+
+std::vector<util::Ipv4> Message::answer_addresses() const {
+  std::vector<util::Ipv4> out;
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARecord>(&rr.rdata)) {
+      out.push_back(a->addr);
+    }
+  }
+  return out;
+}
+
+std::string Message::summary() const {
+  std::string out = header.qr ? "response" : "query";
+  out += " id=" + std::to_string(header.id);
+  out += " rcode=" + to_string(header.rcode);
+  if (!questions.empty()) {
+    out += " q=" + questions.front().name.to_string() + "/" +
+           to_string(questions.front().type);
+  }
+  out += " an=" + std::to_string(answers.size());
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARecord>(&rr.rdata)) {
+      out += " A:" + a->addr.to_string();
+    }
+  }
+  return out;
+}
+
+Message make_query(std::uint16_t id, const Name& name, RrType type,
+                   bool recursion_desired) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.rd = recursion_desired;
+  m.questions.push_back(Question{name, type, RrClass::in});
+  return m;
+}
+
+Message make_response(const Message& query, Rcode rcode) {
+  Message m;
+  m.header.id = query.header.id;
+  m.header.qr = true;
+  m.header.rd = query.header.rd;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+}  // namespace odns::dnswire

@@ -1,0 +1,120 @@
+#pragma once
+// In-memory DNS message model: header, question, typed resource
+// records. The wire codec lives in codec.hpp.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dnswire/name.hpp"
+#include "dnswire/types.hpp"
+#include "util/ipv4.hpp"
+
+namespace odns::dnswire {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::noerror;
+};
+
+struct Question {
+  Name name;
+  RrType type = RrType::a;
+  RrClass klass = RrClass::in;
+
+  bool operator==(const Question&) const = default;
+};
+
+struct ARecord {
+  util::Ipv4 addr;
+  bool operator==(const ARecord&) const = default;
+};
+struct NsRecord {
+  Name host;
+  bool operator==(const NsRecord&) const = default;
+};
+struct CnameRecord {
+  Name target;
+  bool operator==(const CnameRecord&) const = default;
+};
+struct PtrRecord {
+  Name target;
+  bool operator==(const PtrRecord&) const = default;
+};
+struct TxtRecord {
+  std::vector<std::string> strings;
+  bool operator==(const TxtRecord&) const = default;
+};
+struct SoaRecord {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  // negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRecord&) const = default;
+};
+struct OptRecord {
+  std::uint16_t udp_payload_size = 1232;
+  bool operator==(const OptRecord&) const = default;
+};
+/// Record types the codec does not model structurally.
+struct RawRecord {
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRecord&) const = default;
+};
+
+using Rdata = std::variant<ARecord, NsRecord, CnameRecord, PtrRecord,
+                           TxtRecord, SoaRecord, OptRecord, RawRecord>;
+
+struct ResourceRecord {
+  Name name;
+  RrType type = RrType::a;
+  RrClass klass = RrClass::in;
+  std::uint32_t ttl = 0;
+  Rdata rdata = ARecord{};
+
+  bool operator==(const ResourceRecord&) const = default;
+
+  static ResourceRecord a(const Name& name, util::Ipv4 addr,
+                          std::uint32_t ttl);
+  static ResourceRecord ns(const Name& name, const Name& host,
+                           std::uint32_t ttl);
+  static ResourceRecord cname(const Name& name, const Name& target,
+                              std::uint32_t ttl);
+  static ResourceRecord txt(const Name& name, std::vector<std::string> strings,
+                            std::uint32_t ttl);
+  static ResourceRecord soa(const Name& zone, const Name& mname,
+                            std::uint32_t serial, std::uint32_t minimum);
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  /// All A-record addresses in the answer section, in order. The
+  /// response-based classification method reads these.
+  [[nodiscard]] std::vector<util::Ipv4> answer_addresses() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Builds a standard recursive query.
+Message make_query(std::uint16_t id, const Name& name, RrType type,
+                   bool recursion_desired = true);
+
+/// Builds a response skeleton echoing the query's id and question.
+Message make_response(const Message& query, Rcode rcode = Rcode::noerror);
+
+}  // namespace odns::dnswire

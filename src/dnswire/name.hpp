@@ -1,0 +1,67 @@
+#pragma once
+// Domain names as label sequences. Comparison and hashing are ASCII
+// case-insensitive (RFC 1035 §2.3.3); presentation parsing enforces the
+// 63-octet label and 255-octet name limits.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odns::dnswire {
+
+class Name {
+ public:
+  Name() = default;  // the root name
+
+  /// Parses presentation format ("www.example.com", trailing dot
+  /// optional; "." is the root). Returns nullopt when a label is empty,
+  /// overlong, or the total wire length would exceed 255 octets.
+  static std::optional<Name> parse(std::string_view text);
+
+  /// Builds from raw labels (must already satisfy length limits).
+  static std::optional<Name> from_labels(std::vector<std::string> labels);
+
+  [[nodiscard]] bool is_root() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+
+  /// Wire-format length in octets (sum of label lengths + length bytes
+  /// + terminating zero), without compression.
+  [[nodiscard]] std::size_t wire_length() const;
+
+  /// "www.example.com" (no trailing dot); "." for the root.
+  [[nodiscard]] std::string to_string() const;
+
+  /// True if this name is `zone` or ends in `zone`
+  /// (e.g. "a.example.com" is under "example.com").
+  [[nodiscard]] bool is_subdomain_of(const Name& zone) const;
+
+  /// New name with `label` prepended: prepend("a") on "b.c" -> "a.b.c".
+  [[nodiscard]] std::optional<Name> prepend(std::string_view label) const;
+
+  /// Parent name (one label stripped); root's parent is root.
+  [[nodiscard]] Name parent() const;
+
+  bool operator==(const Name& other) const;
+  bool operator!=(const Name& other) const { return !(*this == other); }
+
+  /// Canonical (case-folded) form for map keys.
+  [[nodiscard]] std::string canonical() const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace odns::dnswire
+
+template <>
+struct std::hash<odns::dnswire::Name> {
+  std::size_t operator()(const odns::dnswire::Name& n) const noexcept {
+    return std::hash<std::string>{}(n.canonical());
+  }
+};

@@ -1,0 +1,46 @@
+#pragma once
+// DNS protocol constants (RFC 1035 §3.2, RFC 6891 for OPT).
+
+#include <cstdint>
+#include <string>
+
+namespace odns::dnswire {
+
+enum class RrType : std::uint16_t {
+  a = 1,
+  ns = 2,
+  cname = 5,
+  soa = 6,
+  ptr = 12,
+  mx = 15,
+  txt = 16,
+  aaaa = 28,
+  opt = 41,
+  any = 255,
+};
+
+enum class RrClass : std::uint16_t {
+  in = 1,
+  ch = 3,
+  any = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  query = 0,
+  iquery = 1,
+  status = 2,
+};
+
+enum class Rcode : std::uint8_t {
+  noerror = 0,
+  formerr = 1,
+  servfail = 2,
+  nxdomain = 3,
+  notimp = 4,
+  refused = 5,
+};
+
+std::string to_string(RrType t);
+std::string to_string(Rcode r);
+
+}  // namespace odns::dnswire

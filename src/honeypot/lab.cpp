@@ -1,0 +1,86 @@
+#include "honeypot/lab.hpp"
+
+#include <stdexcept>
+
+namespace odns::honeypot {
+
+namespace {
+
+netsim::Asn fresh_asn(const netsim::Network& net, netsim::Asn start) {
+  netsim::Asn asn = start;
+  while (net.find_as(asn) != nullptr) ++asn;
+  return asn;
+}
+
+}  // namespace
+
+SensorLab deploy_sensor_lab(topo::Deployment& world, util::Prefix block,
+                            util::Ipv4 upstream, util::Duration rate_window) {
+  auto& sim = world.sim();
+  auto& net = sim.net();
+  if (block.length() != 24) {
+    throw std::invalid_argument("sensor lab needs a /24");
+  }
+
+  SensorLab lab;
+  netsim::AsConfig ac;
+  ac.asn = fresh_asn(net, 64900);
+  ac.country = "DEU";
+  ac.internal_hops = 1;
+  // §3.1 deployment requirements: no egress SAV (sensor 3 spoofs) and
+  // direct peering with the resolver's network at an IXP.
+  ac.source_address_validation = false;
+  net.add_as(ac);
+  lab.asn = ac.asn;
+  net.announce(ac.asn, block);
+
+  // Peer with the AS of the upstream's nearest PoP: resolve from a hub
+  // first so there is connectivity to compute nearest against.
+  net.link(ac.asn, net.all_asns().front());
+  const netsim::HostId pop = net.resolve_destination(upstream, ac.asn);
+  if (pop != netsim::kInvalidHost) {
+    net.link(ac.asn, net.host(pop).asn);
+  }
+
+  const auto base = block.base().value();
+  lab.sensor1_addr = util::Ipv4{base + 10};
+  lab.sensor2_recv_addr = util::Ipv4{base + 20};
+  lab.sensor2_send_addr = util::Ipv4{base + 21};
+  lab.sensor3_addr = util::Ipv4{base + 30};
+
+  SensorConfig cfg;
+  cfg.upstream = upstream;
+  cfg.rate_window = rate_window;
+
+  const auto h1 = net.add_host(ac.asn, {lab.sensor1_addr});
+  lab.sensor1 = std::make_unique<ResolverSensor>(sim, h1, cfg);
+  lab.sensor1->start();
+
+  const auto h2 =
+      net.add_host(ac.asn, {lab.sensor2_recv_addr, lab.sensor2_send_addr});
+  lab.sensor2 = std::make_unique<InteriorForwarderSensor>(
+      sim, h2, cfg, lab.sensor2_recv_addr, lab.sensor2_send_addr);
+  lab.sensor2->start();
+
+  const auto h3 = net.add_host(ac.asn, {lab.sensor3_addr});
+  lab.sensor3 = std::make_unique<ExteriorForwarderSensor>(sim, h3, cfg);
+  lab.sensor3->start();
+
+  return lab;
+}
+
+netsim::HostId attach_vantage(topo::Deployment& world, util::Prefix block,
+                              util::Ipv4 host_addr, bool sav) {
+  auto& net = world.sim().net();
+  netsim::AsConfig ac;
+  ac.asn = fresh_asn(net, 65100);
+  ac.country = "USA";
+  ac.internal_hops = 1;
+  ac.source_address_validation = sav;
+  net.add_as(ac);
+  net.announce(ac.asn, block);
+  net.link(ac.asn, net.all_asns().front());
+  return net.add_host(ac.asn, {host_addr});
+}
+
+}  // namespace odns::honeypot

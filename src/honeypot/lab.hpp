@@ -1,0 +1,40 @@
+#pragma once
+// Deployment helpers for the §3 controlled experiment: attach the
+// sensor network (SAV-free, peering directly with the public resolver,
+// as the paper's setup requires) and external vantage points for the
+// scanning-campaign models.
+
+#include <memory>
+#include <vector>
+
+#include "honeypot/sensors.hpp"
+#include "topo/deployment.hpp"
+
+namespace odns::honeypot {
+
+struct SensorLab {
+  netsim::Asn asn = 0;
+  util::Ipv4 sensor1_addr;       // IP1
+  util::Ipv4 sensor2_recv_addr;  // IP2
+  util::Ipv4 sensor2_send_addr;  // IP3 (same /24 as IP2)
+  util::Ipv4 sensor3_addr;       // IP4
+  std::unique_ptr<ResolverSensor> sensor1;
+  std::unique_ptr<InteriorForwarderSensor> sensor2;
+  std::unique_ptr<ExteriorForwarderSensor> sensor3;
+};
+
+/// Creates the sensor AS (SAV disabled, direct IXP peering with the
+/// upstream resolver project's nearest PoP AS) and deploys all three
+/// sensors. `block` must be an unused /24.
+SensorLab deploy_sensor_lab(topo::Deployment& world, util::Prefix block,
+                            util::Ipv4 upstream,
+                            util::Duration rate_window =
+                                util::Duration::minutes(5));
+
+/// Attaches a standalone external network with one host — used for
+/// campaign vantage points (each campaign scans from its own prefix,
+/// so sensor rate limiting treats them independently).
+netsim::HostId attach_vantage(topo::Deployment& world, util::Prefix block,
+                              util::Ipv4 host_addr, bool sav = true);
+
+}  // namespace odns::honeypot

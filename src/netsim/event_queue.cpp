@@ -1,0 +1,43 @@
+#include "netsim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace odns::netsim {
+
+void EventQueue::schedule_at(util::SimTime at, Action action) {
+  // Events cannot be scheduled in the past; clamp to "now" so that
+  // zero-delay sends still execute in FIFO order.
+  if (at < now_) at = now_;
+  heap_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void EventQueue::step() {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast on the
+  // action only — the entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  now_ = top.at;
+  Action action = std::move(top.action);
+  heap_.pop();
+  ++executed_;
+  action();
+}
+
+std::uint64_t EventQueue::run(util::SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  constexpr auto kSentinel = std::int64_t{1} << 62;
+  if (now_ < deadline && deadline.nanos() < kSentinel) {
+    // The clock advances to an explicit deadline (remaining events are
+    // all scheduled later), so timeout logic keyed on now() behaves
+    // deterministically.
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace odns::netsim

@@ -1,0 +1,53 @@
+#pragma once
+// Discrete-event core: a time-ordered queue of closures. Ties are broken
+// by insertion sequence so runs are exactly reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace odns::netsim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`.
+  void schedule_at(util::SimTime at, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] util::SimTime now() const { return now_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Runs the earliest event; advances the clock. Pre: !empty().
+  void step();
+
+  /// Runs events until the queue drains or `deadline` is passed.
+  /// Returns the number of events executed.
+  std::uint64_t run(util::SimTime deadline = util::SimTime::from_nanos(
+                        std::int64_t{1} << 62));
+
+ private:
+  struct Entry {
+    util::SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  util::SimTime now_ = util::SimTime::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,232 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace odns::netsim {
+
+namespace {
+// Router interface addresses are carved from 100.64.0.0/10 (the CGNAT
+// shared range), which the topology generator never assigns to hosts.
+constexpr util::Ipv4 kRouterPoolBase{100, 64, 0, 1};
+constexpr std::uint32_t kRouterPoolLimit =
+    (std::uint32_t{100} << 24 | 128u << 16) - 1;  // end of 100.64/10
+}  // namespace
+
+Network::Network() : next_router_ip_(kRouterPoolBase) {}
+
+util::Ipv4 Network::allocate_router_ip() {
+  if (next_router_ip_.value() >= kRouterPoolLimit) {
+    throw std::runtime_error("router IP pool exhausted");
+  }
+  auto ip = next_router_ip_;
+  next_router_ip_ = next_router_ip_.next();
+  return ip;
+}
+
+AsInfo& Network::add_as(const AsConfig& cfg) {
+  assert(cfg.internal_hops >= 1);
+  if (asn_to_index_.contains(cfg.asn)) {
+    throw std::invalid_argument("duplicate ASN " + std::to_string(cfg.asn));
+  }
+  asn_to_index_.emplace(cfg.asn, static_cast<std::uint32_t>(ases_.size()));
+  asn_order_.push_back(cfg.asn);
+  auto& info = ases_.emplace_back();
+  info.cfg = cfg;
+  info.router_ips.reserve(static_cast<std::size_t>(cfg.internal_hops));
+  for (int i = 0; i < cfg.internal_hops; ++i) {
+    auto ip = allocate_router_ip();
+    info.router_ips.push_back(ip);
+    router_ip_owner_.emplace(ip, cfg.asn);
+  }
+  bfs_cache_.clear();
+  return info;
+}
+
+void Network::link(Asn a, Asn b) {
+  auto* ia = find_as_mutable(a);
+  auto* ib = find_as_mutable(b);
+  if (ia == nullptr || ib == nullptr) {
+    throw std::invalid_argument("link between unknown ASNs");
+  }
+  if (a == b) return;
+  if (std::find(ia->neighbors.begin(), ia->neighbors.end(), b) ==
+      ia->neighbors.end()) {
+    ia->neighbors.push_back(b);
+    ib->neighbors.push_back(a);
+    bfs_cache_.clear();
+  }
+}
+
+void Network::announce(Asn asn, Prefix4 prefix) {
+  auto* info = find_as_mutable(asn);
+  if (info == nullptr) throw std::invalid_argument("announce: unknown ASN");
+  info->owned.push_back(prefix);
+}
+
+HostId Network::add_host(Asn asn, std::vector<util::Ipv4> addrs) {
+  auto* info = find_as_mutable(asn);
+  if (info == nullptr) throw std::invalid_argument("add_host: unknown ASN");
+  const auto id = static_cast<HostId>(hosts_.size());
+  auto& h = hosts_.emplace_back();
+  h.id = id;
+  h.asn = asn;
+  h.addrs = std::move(addrs);
+  for (auto a : h.addrs) {
+    auto [it, inserted] = addr_to_host_.emplace(a, id);
+    if (!inserted) {
+      throw std::invalid_argument("address already assigned: " + a.to_string());
+    }
+  }
+  info->hosts.push_back(id);
+  return id;
+}
+
+void Network::add_host_address(HostId id, util::Ipv4 addr) {
+  auto [it, inserted] = addr_to_host_.emplace(addr, id);
+  if (!inserted) {
+    throw std::invalid_argument("address already assigned: " + addr.to_string());
+  }
+  hosts_[id].addrs.push_back(addr);
+}
+
+void Network::join_anycast(util::Ipv4 addr, HostId host) {
+  anycast_[addr].push_back(host);
+}
+
+const AsInfo* Network::find_as(Asn asn) const {
+  auto it = asn_to_index_.find(asn);
+  return it == asn_to_index_.end() ? nullptr : &ases_[it->second];
+}
+
+AsInfo* Network::find_as_mutable(Asn asn) {
+  auto it = asn_to_index_.find(asn);
+  return it == asn_to_index_.end() ? nullptr : &ases_[it->second];
+}
+
+std::size_t Network::as_index(Asn asn) const {
+  auto it = asn_to_index_.find(asn);
+  assert(it != asn_to_index_.end());
+  return it->second;
+}
+
+HostId Network::unicast_owner(util::Ipv4 addr) const {
+  auto it = addr_to_host_.find(addr);
+  return it == addr_to_host_.end() ? kInvalidHost : it->second;
+}
+
+bool Network::is_anycast(util::Ipv4 addr) const {
+  return anycast_.contains(addr);
+}
+
+HostId Network::resolve_destination(util::Ipv4 addr, Asn from_as) const {
+  if (auto it = anycast_.find(addr); it != anycast_.end()) {
+    // Nearest-PoP selection: the anycast member whose AS is fewest AS
+    // hops from the source, ties broken by member order (deterministic).
+    HostId best = kInvalidHost;
+    int best_dist = std::numeric_limits<int>::max();
+    for (HostId member : it->second) {
+      const int d = as_distance(from_as, hosts_[member].asn);
+      if (d >= 0 && d < best_dist) {
+        best_dist = d;
+        best = member;
+      }
+    }
+    return best;
+  }
+  return unicast_owner(addr);
+}
+
+std::optional<Asn> Network::router_owner(util::Ipv4 addr) const {
+  auto it = router_ip_owner_.find(addr);
+  if (it == router_ip_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Network::source_is_legitimate(Asn asn, util::Ipv4 src) const {
+  const auto* info = find_as(asn);
+  if (info == nullptr) return false;
+  return std::any_of(info->owned.begin(), info->owned.end(),
+                     [src](const Prefix4& p) { return p.contains(src); });
+}
+
+const Network::BfsResult& Network::bfs_from(Asn src) const {
+  auto it = bfs_cache_.find(src);
+  if (it != bfs_cache_.end()) return it->second;
+
+  BfsResult result;
+  constexpr auto kUnreached = std::numeric_limits<std::uint16_t>::max();
+  result.dist.assign(ases_.size(), kUnreached);
+  result.parent.assign(ases_.size(), 0xFFFFFFFFu);
+  std::deque<std::uint32_t> queue;
+  const auto s = static_cast<std::uint32_t>(as_index(src));
+  result.dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const auto u = queue.front();
+    queue.pop_front();
+    for (Asn nb : ases_[u].neighbors) {
+      const auto v = static_cast<std::uint32_t>(as_index(nb));
+      if (result.dist[v] == kUnreached) {
+        result.dist[v] = static_cast<std::uint16_t>(result.dist[u] + 1);
+        result.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return bfs_cache_.emplace(src, std::move(result)).first->second;
+}
+
+int Network::as_distance(Asn from, Asn to) const {
+  if (!asn_to_index_.contains(from) || !asn_to_index_.contains(to)) return -1;
+  const auto& bfs = bfs_from(from);
+  const auto d = bfs.dist[as_index(to)];
+  return d == std::numeric_limits<std::uint16_t>::max() ? -1 : d;
+}
+
+std::vector<Asn> Network::as_path(Asn from, Asn to) const {
+  const auto& bfs = bfs_from(from);
+  const auto t = as_index(to);
+  if (bfs.dist[t] == std::numeric_limits<std::uint16_t>::max()) return {};
+  std::vector<Asn> rev;
+  for (auto cur = static_cast<std::uint32_t>(t); cur != 0xFFFFFFFFu;
+       cur = bfs.parent[cur]) {
+    rev.push_back(ases_[cur].cfg.asn);
+    if (ases_[cur].cfg.asn == from) break;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::optional<Route> Network::route(HostId from, util::Ipv4 dst) const {
+  return route_from_as(hosts_[from].asn, dst);
+}
+
+std::optional<Route> Network::route_from_as(Asn from, util::Ipv4 dst) const {
+  const HostId target = resolve_destination(dst, from);
+  if (target == kInvalidHost) return std::nullopt;
+  const Asn dst_as = hosts_[target].asn;
+  Route r;
+  r.dst_host = target;
+  r.as_path = as_path(from, dst_as);
+  if (r.as_path.empty()) return std::nullopt;
+  for (Asn asn : r.as_path) {
+    const auto& info = ases_[as_index(asn)];
+    r.router_hops.insert(r.router_hops.end(), info.router_ips.begin(),
+                         info.router_ips.end());
+  }
+  return r;
+}
+
+std::vector<std::pair<Prefix4, Asn>> Network::announced_prefixes() const {
+  std::vector<std::pair<Prefix4, Asn>> out;
+  for (const auto& info : ases_) {
+    for (const auto& p : info.owned) out.emplace_back(p, info.cfg.asn);
+  }
+  return out;
+}
+
+}  // namespace odns::netsim

@@ -1,0 +1,132 @@
+#pragma once
+// Static network model: autonomous systems, their adjacency, hosts,
+// address ownership, anycast groups, and path computation. The dynamic
+// part (packets in flight) lives in Simulator.
+//
+// Routing is AS-granular: the packet's router-level path is the
+// concatenation of each traversed AS's internal router chain, which
+// gives hop-accurate TTL semantics (what DNSRoute++ measures) without
+// simulating per-router FIBs.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/ipv4.hpp"
+
+namespace odns::netsim {
+
+using Prefix4 = util::Prefix;
+
+struct AsConfig {
+  Asn asn = 0;
+  std::string country;  // ISO-3166 alpha-3, e.g. "BRA"
+  /// Egress source-address validation (BCP 38). Transparent forwarders
+  /// can only operate from ASes where this is false.
+  bool source_address_validation = true;
+  /// Router hops a packet spends crossing this AS (>= 1).
+  int internal_hops = 2;
+};
+
+struct AsInfo {
+  AsConfig cfg;
+  std::vector<Asn> neighbors;
+  std::vector<util::Ipv4> router_ips;  // one per internal hop
+  std::vector<Prefix4> owned;          // announced prefixes (SAV scope)
+  std::vector<HostId> hosts;
+};
+
+struct Host {
+  HostId id = kInvalidHost;
+  Asn asn = 0;
+  std::vector<util::Ipv4> addrs;
+};
+
+/// Result of a route lookup: the ordered router hops between (but not
+/// including) the source host and the destination host.
+struct Route {
+  std::vector<util::Ipv4> router_hops;
+  std::vector<Asn> as_path;  // includes source and destination AS
+  HostId dst_host = kInvalidHost;
+};
+
+class Network {
+ public:
+  Network();
+
+  // --- construction ------------------------------------------------
+  AsInfo& add_as(const AsConfig& cfg);
+  /// Declares a bidirectional inter-AS adjacency.
+  void link(Asn a, Asn b);
+  /// Registers a prefix as legitimately originated by `asn` (SAV scope
+  /// and synthetic-Routeviews source).
+  void announce(Asn asn, Prefix4 prefix);
+  HostId add_host(Asn asn, std::vector<util::Ipv4> addrs);
+  void add_host_address(HostId id, util::Ipv4 addr);
+  /// Adds `host` as a member of the anycast group for `addr`. Lookups
+  /// resolve to the member closest (AS hops) to the querying AS.
+  void join_anycast(util::Ipv4 addr, HostId host);
+
+  // --- lookups -----------------------------------------------------
+  [[nodiscard]] const Host& host(HostId id) const { return hosts_[id]; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] const AsInfo* find_as(Asn asn) const;
+  [[nodiscard]] AsInfo* find_as_mutable(Asn asn);
+  [[nodiscard]] const std::vector<Asn>& all_asns() const { return asn_order_; }
+
+  /// Exact-match host owning `addr` (unicast), or the nearest anycast
+  /// member seen from `from_as`. kInvalidHost if nobody owns it.
+  [[nodiscard]] HostId resolve_destination(util::Ipv4 addr, Asn from_as) const;
+  [[nodiscard]] HostId unicast_owner(util::Ipv4 addr) const;
+  [[nodiscard]] bool is_anycast(util::Ipv4 addr) const;
+
+  /// ASN owning a router IP (for synthetic registry generation and
+  /// DNSRoute++ hop attribution). nullopt if not a router address.
+  [[nodiscard]] std::optional<Asn> router_owner(util::Ipv4 addr) const;
+
+  /// True if `src` is a legitimate source address for traffic leaving
+  /// `asn` (i.e. covered by a prefix it announces).
+  [[nodiscard]] bool source_is_legitimate(Asn asn, util::Ipv4 src) const;
+
+  /// AS-level distance (hop count) between two ASes; -1 if unreachable.
+  [[nodiscard]] int as_distance(Asn from, Asn to) const;
+
+  /// Computes the router-level route from a host to an IP address.
+  /// Returns nullopt when the destination does not resolve or no AS
+  /// path exists.
+  [[nodiscard]] std::optional<Route> route(HostId from, util::Ipv4 dst) const;
+  /// Same, but originating inside an AS (used for ICMP errors emitted
+  /// by routers).
+  [[nodiscard]] std::optional<Route> route_from_as(Asn from,
+                                                   util::Ipv4 dst) const;
+
+  /// All announced prefixes with their origin ASN (synthetic
+  /// Routeviews dump source).
+  [[nodiscard]] std::vector<std::pair<Prefix4, Asn>> announced_prefixes() const;
+
+ private:
+  struct BfsResult {
+    std::vector<std::uint16_t> dist;   // indexed by AS index
+    std::vector<std::uint32_t> parent; // AS index of predecessor
+  };
+
+  [[nodiscard]] std::size_t as_index(Asn asn) const;
+  const BfsResult& bfs_from(Asn src) const;
+  [[nodiscard]] std::vector<Asn> as_path(Asn from, Asn to) const;
+  util::Ipv4 allocate_router_ip();
+
+  std::vector<AsInfo> ases_;
+  std::vector<Asn> asn_order_;
+  std::unordered_map<Asn, std::uint32_t> asn_to_index_;
+  std::vector<Host> hosts_;
+  std::unordered_map<util::Ipv4, HostId> addr_to_host_;
+  std::unordered_map<util::Ipv4, std::vector<HostId>> anycast_;
+  std::unordered_map<util::Ipv4, Asn> router_ip_owner_;
+  util::Ipv4 next_router_ip_;
+  mutable std::unordered_map<Asn, BfsResult> bfs_cache_;
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,205 @@
+#include "netsim/sim.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace odns::netsim {
+
+Simulator::Simulator(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+void Simulator::run() { events_.run(); }
+
+void Simulator::run_until(util::SimTime deadline) { events_.run(deadline); }
+
+Simulator::HostState& Simulator::state(HostId id) { return host_state_[id]; }
+
+void Simulator::bind_udp(HostId host, std::uint16_t port, App* app) {
+  assert(app != nullptr);
+  state(host).sockets[port] = app;
+}
+
+void Simulator::unbind_udp(HostId host, std::uint16_t port) {
+  state(host).sockets.erase(port);
+}
+
+void Simulator::bind_udp_wildcard(HostId host, App* app) {
+  state(host).wildcard = app;
+}
+
+void Simulator::set_icmp_handler(HostId host, IcmpHandler handler) {
+  state(host).icmp = std::move(handler);
+}
+
+void Simulator::add_port_redirect(HostId host, std::uint16_t dst_port,
+                                  util::Ipv4 target) {
+  state(host).redirects[dst_port] = Redirect{target, 0};
+}
+
+void Simulator::remove_port_redirect(HostId host, std::uint16_t dst_port) {
+  state(host).redirects.erase(dst_port);
+}
+
+std::uint64_t Simulator::redirect_relays(HostId host) const {
+  auto it = host_state_.find(host);
+  if (it == host_state_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [port, rule] : it->second.redirects) total += rule.relays;
+  return total;
+}
+
+void Simulator::emit(TapEvent ev, const Packet& pkt) {
+  for (const auto& tap : taps_) tap(ev, pkt);
+}
+
+void Simulator::send_udp(HostId from, SendOptions opts) {
+  const Host& h = net_.host(from);
+  assert(!h.addrs.empty());
+  Packet pkt;
+  pkt.src = opts.spoof_src.value_or(h.addrs.front());
+  pkt.dst = opts.dst;
+  pkt.ttl = opts.ttl.value_or(cfg_.default_ttl);
+  pkt.proto = Protocol::udp;
+  pkt.src_port = opts.src_port;
+  pkt.dst_port = opts.dst_port;
+  pkt.payload = std::move(opts.payload);
+  inject(std::move(pkt), h.asn, /*from_router=*/false);
+}
+
+void Simulator::send_icmp(IcmpType type, util::Ipv4 from,
+                          const Packet& offender, Asn origin_as) {
+  // RFC 1122: never generate ICMP errors about ICMP errors.
+  if (offender.proto == Protocol::icmp) return;
+  Packet icmp;
+  icmp.src = from;
+  icmp.dst = offender.src;
+  icmp.ttl = cfg_.default_ttl;
+  icmp.proto = Protocol::icmp;
+  icmp.icmp_type = type;
+  icmp.icmp_quote = IcmpQuote{offender.src, offender.dst, offender.src_port,
+                              offender.dst_port};
+  ++counters_.icmp_generated;
+  inject(std::move(icmp), origin_as, /*from_router=*/true);
+}
+
+void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
+  ++counters_.sent;
+  emit(TapEvent::sent, pkt);
+
+  // BCP 38 egress filtering: customer traffic leaving an AS that
+  // validates source addresses must carry a source the AS announces.
+  // Infrastructure (router-originated ICMP) is exempt.
+  if (!from_router) {
+    const auto* info = net_.find_as(origin_as);
+    if (info != nullptr && info->cfg.source_address_validation &&
+        !net_.source_is_legitimate(origin_as, pkt.src)) {
+      ++counters_.dropped_sav;
+      emit(TapEvent::dropped_sav, pkt);
+      return;
+    }
+  }
+
+  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
+    ++counters_.dropped_loss;
+    emit(TapEvent::dropped_loss, pkt);
+    return;
+  }
+
+  auto route = net_.route_from_as(origin_as, pkt.dst);
+  if (!route) {
+    ++counters_.dropped_no_route;
+    emit(TapEvent::dropped_no_route, pkt);
+    return;
+  }
+
+  const int hops = static_cast<int>(route->router_hops.size());
+  if (pkt.ttl <= hops) {
+    // TTL reaches zero at router index pkt.ttl (1-based) along the path.
+    const int expiring = pkt.ttl;
+    const util::Ipv4 router = route->router_hops[
+        static_cast<std::size_t>(expiring - 1)];
+    const auto router_as = net_.router_owner(router);
+    ++counters_.ttl_expired;
+    emit(TapEvent::ttl_expired, pkt);
+    Packet offender = std::move(pkt);
+    const Asn icmp_origin = router_as.value_or(origin_as);
+    events_.schedule_at(
+        now() + cfg_.hop_latency * expiring,
+        [this, offender = std::move(offender), router, icmp_origin]() {
+          send_icmp(IcmpType::ttl_exceeded, router, offender, icmp_origin);
+        });
+    return;
+  }
+
+  pkt.ttl -= hops;
+  const HostId dst_host = route->dst_host;
+  events_.schedule_at(now() + cfg_.hop_latency * (hops + 1),
+                      [this, pkt = std::move(pkt), dst_host]() mutable {
+                        deliver(std::move(pkt), dst_host);
+                      });
+}
+
+void Simulator::deliver(Packet pkt, HostId host) {
+  ++counters_.delivered;
+  emit(TapEvent::delivered, pkt);
+  auto it = host_state_.find(host);
+  HostState* st = it == host_state_.end() ? nullptr : &it->second;
+  const Host& h = net_.host(host);
+
+  if (pkt.proto == Protocol::icmp) {
+    if (st != nullptr && st->icmp) st->icmp(pkt);
+    return;
+  }
+
+  // Transparent forwarding: an IP-level relay installed on the device.
+  // The source address is preserved (this is the spoofing behaviour the
+  // paper measures) and the TTL continues to decrement, which is what
+  // makes DNSRoute++ able to see through the device.
+  if (st != nullptr) {
+    auto rule = st->redirects.find(pkt.dst_port);
+    if (rule != st->redirects.end()) {
+      if (pkt.ttl - 1 <= 0) {
+        // The device's IP stack answers (from the address the probe
+        // was sent to); forwarding stops. This is the behaviour
+        // DNSRoute++ keys on to locate the forwarder on the path.
+        send_icmp(IcmpType::ttl_exceeded, pkt.dst, pkt, h.asn);
+        return;
+      }
+      ++rule->second.relays;
+      ++counters_.redirected;
+      emit(TapEvent::redirected, pkt);
+      Packet relayed = std::move(pkt);
+      relayed.ttl -= 1;
+      relayed.dst = rule->second.target;
+      // The relay is host-originated traffic: if this AS enforced SAV
+      // the spoofed relay would be dropped, so deployed transparent
+      // forwarders only exist behind SAV-free networks.
+      inject(std::move(relayed), h.asn, /*from_router=*/false);
+      return;
+    }
+  }
+
+  App* app = nullptr;
+  if (st != nullptr) {
+    auto sock = st->sockets.find(pkt.dst_port);
+    if (sock != st->sockets.end()) {
+      app = sock->second;
+    } else if (st->wildcard != nullptr) {
+      app = st->wildcard;
+    }
+  }
+  if (app == nullptr) {
+    send_icmp(IcmpType::port_unreachable, pkt.dst, pkt, h.asn);
+    return;
+  }
+
+  Datagram dgram;
+  dgram.src = pkt.src;
+  dgram.dst = pkt.dst;
+  dgram.src_port = pkt.src_port;
+  dgram.dst_port = pkt.dst_port;
+  dgram.ttl = pkt.ttl;
+  dgram.payload = &pkt.payload;
+  app->on_datagram(dgram);
+}
+
+}  // namespace odns::netsim

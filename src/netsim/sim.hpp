@@ -1,0 +1,151 @@
+#pragma once
+// Dynamic packet plane on top of Network: UDP sockets, transparent
+// port redirects (the mechanism behind transparent forwarders), ICMP
+// generation, per-AS source-address validation, loss, and latency.
+//
+// Hop traversal is computed analytically from the route (one event per
+// packet leg, not per router), which keeps Internet-scale scans cheap
+// while preserving exact TTL and ICMP semantics.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/network.hpp"
+#include "netsim/packet.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace odns::netsim {
+
+/// A UDP application bound to a host/port. Implementations receive
+/// datagrams and reply through the Simulator reference they were
+/// constructed with.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual void on_datagram(const Datagram& dgram) = 0;
+};
+
+using IcmpHandler = std::function<void(const Packet&)>;
+
+enum class TapEvent : std::uint8_t {
+  sent,
+  delivered,
+  dropped_sav,
+  dropped_loss,
+  dropped_no_route,
+  ttl_expired,
+  redirected,
+};
+
+using Tap = std::function<void(TapEvent, const Packet&)>;
+
+struct SimConfig {
+  util::Duration hop_latency = util::Duration::micros(500);
+  double loss_rate = 0.0;
+  int default_ttl = 64;
+  std::uint64_t seed = 1;
+};
+
+struct SimCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_sav = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t ttl_expired = 0;
+  std::uint64_t icmp_generated = 0;
+  std::uint64_t redirected = 0;
+};
+
+struct SendOptions {
+  util::Ipv4 dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+  /// When set, the datagram leaves with this (possibly spoofed) source
+  /// address; subject to the origin AS's SAV policy.
+  std::optional<util::Ipv4> spoof_src;
+  std::optional<int> ttl;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig cfg = {});
+
+  Network& net() { return net_; }
+  const Network& net() const { return net_; }
+
+  [[nodiscard]] util::SimTime now() const { return events_.now(); }
+  void schedule(util::Duration delay, EventQueue::Action action) {
+    events_.schedule_at(now() + delay, std::move(action));
+  }
+  /// Runs until no events remain (or deadline passes).
+  void run();
+  void run_until(util::SimTime deadline);
+  void run_for(util::Duration d) { run_until(now() + d); }
+
+  // --- socket API ----------------------------------------------------
+  void bind_udp(HostId host, std::uint16_t port, App* app);
+  void unbind_udp(HostId host, std::uint16_t port);
+  /// Receives every datagram not claimed by a port-specific binding;
+  /// used by the scanner, which owns thousands of ephemeral ports.
+  void bind_udp_wildcard(HostId host, App* app);
+  void set_icmp_handler(HostId host, IcmpHandler handler);
+
+  /// Installs a transparent forwarding rule: UDP datagrams arriving at
+  /// this host for `dst_port` are relayed to `target` with the source
+  /// address preserved (IP-level relay: TTL decremented, not reset).
+  void add_port_redirect(HostId host, std::uint16_t dst_port,
+                         util::Ipv4 target);
+  void remove_port_redirect(HostId host, std::uint16_t dst_port);
+  [[nodiscard]] std::uint64_t redirect_relays(HostId host) const;
+
+  /// Sends a UDP datagram from `from`. The source defaults to the
+  /// host's first address.
+  void send_udp(HostId from, SendOptions opts);
+
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+  [[nodiscard]] const SimCounters& counters() const { return counters_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_.executed();
+  }
+
+ private:
+  struct Redirect {
+    util::Ipv4 target;
+    std::uint64_t relays = 0;
+  };
+  struct HostState {
+    std::unordered_map<std::uint16_t, App*> sockets;
+    App* wildcard = nullptr;
+    IcmpHandler icmp;
+    std::unordered_map<std::uint16_t, Redirect> redirects;
+  };
+
+  HostState& state(HostId id);
+  void emit(TapEvent ev, const Packet& pkt);
+  /// Injects a packet into the network from `origin_as`. `from_router`
+  /// marks infrastructure-originated traffic (ICMP), which is exempt
+  /// from SAV.
+  void inject(Packet pkt, Asn origin_as, bool from_router);
+  void deliver(Packet pkt, HostId host);
+  void send_icmp(IcmpType type, util::Ipv4 from, const Packet& offender,
+                 Asn origin_as);
+
+  SimConfig cfg_;
+  Network net_;
+  EventQueue events_;
+  util::Rng rng_;
+  std::unordered_map<HostId, HostState> host_state_;
+  std::vector<Tap> taps_;
+  SimCounters counters_;
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,169 @@
+#include "netsim/stream.hpp"
+
+namespace odns::netsim {
+
+std::vector<std::uint8_t> Segment::encode() const {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(1 + data.size());
+  // Magic tag distinguishes stream segments from stray UDP payloads.
+  wire.push_back(0xE7);
+  wire.push_back(static_cast<std::uint8_t>(kind));
+  wire.insert(wire.end(), data.begin(), data.end());
+  return wire;
+}
+
+std::optional<Segment> Segment::decode(const std::vector<std::uint8_t>& wire) {
+  if (wire.size() < 2 || wire[0] != (0xE7)) return std::nullopt;
+  Segment seg;
+  seg.kind = static_cast<SegmentKind>(wire[1]);
+  seg.data.assign(wire.begin() + 2, wire.end());
+  return seg;
+}
+
+StreamEndpoint::StreamEndpoint(Simulator& sim, HostId host,
+                               StreamCallbacks callbacks,
+                               util::Duration connect_timeout)
+    : sim_(&sim), host_(host), callbacks_(std::move(callbacks)),
+      connect_timeout_(connect_timeout) {}
+
+void StreamEndpoint::listen(std::uint16_t port) {
+  listen_port_ = port;
+  sim_->bind_udp(host_, port, this);
+}
+
+ConnectionPtr StreamEndpoint::connect(util::Ipv4 addr, std::uint16_t port) {
+  auto conn = std::make_shared<Connection>();
+  conn->local_addr = sim_->net().host(host_).addrs.front();
+  conn->peer_addr = addr;
+  conn->peer_port = port;
+  conn->local_port = next_ephemeral_;
+  next_ephemeral_ =
+      next_ephemeral_ >= 60000 ? 52000
+                               : static_cast<std::uint16_t>(next_ephemeral_ + 1);
+  conn->initiator = true;
+  conn->state = Connection::State::syn_sent;
+  sim_->bind_udp(host_, conn->local_port, this);
+  connections_[key(addr, port, conn->local_port)] = conn;
+  transmit(conn, Segment{SegmentKind::syn, {}});
+  // A handshake whose SYN-ACK never arrives (or arrived from a peer we
+  // do not recognize — the transparent-relay case) must fail loudly.
+  sim_->schedule(connect_timeout_, [this, conn]() {
+    if (conn->state == Connection::State::syn_sent) {
+      conn->state = Connection::State::closed;
+      connections_.erase(
+          key(conn->peer_addr, conn->peer_port, conn->local_port));
+      ++handshakes_rejected_;
+      if (callbacks_.on_error) callbacks_.on_error(conn, "handshake timeout");
+    }
+  });
+  return conn;
+}
+
+void StreamEndpoint::send(const ConnectionPtr& conn,
+                          std::vector<std::uint8_t> message) {
+  if (conn->state != Connection::State::established) return;
+  transmit(conn, Segment{SegmentKind::data, std::move(message)});
+}
+
+void StreamEndpoint::close(const ConnectionPtr& conn) {
+  if (conn->state == Connection::State::closed) return;
+  transmit(conn, Segment{SegmentKind::fin, {}});
+  conn->state = Connection::State::closed;
+  connections_.erase(key(conn->peer_addr, conn->peer_port, conn->local_port));
+}
+
+void StreamEndpoint::transmit(const ConnectionPtr& conn, const Segment& seg) {
+  SendOptions opts;
+  opts.dst = conn->peer_addr;
+  opts.src_port = conn->local_port;
+  opts.dst_port = conn->peer_port;
+  opts.payload = seg.encode();
+  sim_->send_udp(host_, std::move(opts));
+}
+
+void StreamEndpoint::on_datagram(const Datagram& dgram) {
+  auto seg = Segment::decode(*dgram.payload);
+  if (!seg) return;
+
+  const auto conn_key = key(dgram.src, dgram.src_port, dgram.dst_port);
+  auto it = connections_.find(conn_key);
+
+  if (it == connections_.end()) {
+    if (seg->kind == SegmentKind::syn && dgram.dst_port == listen_port_ &&
+        listen_port_ != 0) {
+      // Passive open.
+      auto conn = std::make_shared<Connection>();
+      conn->local_addr = dgram.dst;
+      conn->peer_addr = dgram.src;
+      conn->peer_port = dgram.src_port;
+      conn->local_port = dgram.dst_port;
+      conn->state = Connection::State::syn_received;
+      connections_[conn_key] = conn;
+      transmit(conn, Segment{SegmentKind::syn_ack, {}});
+      return;
+    }
+    if (seg->kind == SegmentKind::syn_ack && dgram.dst_port >= 52000) {
+      // A SYN-ACK that matches no connection: this is exactly what the
+      // owner of a spoofed source sees. Reset it.
+      SendOptions rst;
+      rst.dst = dgram.src;
+      rst.src_port = dgram.dst_port;
+      rst.dst_port = dgram.src_port;
+      rst.payload = Segment{SegmentKind::rst, {}}.encode();
+      sim_->send_udp(host_, std::move(rst));
+      return;
+    }
+    return;  // stray segment
+  }
+
+  const ConnectionPtr conn = it->second;
+  switch (seg->kind) {
+    case SegmentKind::syn_ack: {
+      if (conn->state != Connection::State::syn_sent) return;
+      // Peer validation — the heart of the DoT-vs-transparent-forwarder
+      // result: the handshake reply must come from the address we
+      // connected to. Through a transparent relay it does not.
+      // (Matching on the 4-tuple key above already enforces this; a
+      // SYN-ACK from a different address lands in the no-connection
+      // branch and is reset. This branch therefore only sees valid
+      // peers.)
+      conn->state = Connection::State::established;
+      transmit(conn, Segment{SegmentKind::ack, {}});
+      if (callbacks_.on_connect) callbacks_.on_connect(conn);
+      return;
+    }
+    case SegmentKind::ack: {
+      if (conn->state == Connection::State::syn_received) {
+        conn->state = Connection::State::established;
+        if (callbacks_.on_accept) callbacks_.on_accept(conn);
+      }
+      return;
+    }
+    case SegmentKind::data: {
+      if (conn->state != Connection::State::established) return;
+      if (callbacks_.on_message) {
+        callbacks_.on_message(conn, std::move(seg->data));
+      }
+      return;
+    }
+    case SegmentKind::rst: {
+      const bool was_handshaking =
+          conn->state == Connection::State::syn_sent ||
+          conn->state == Connection::State::syn_received;
+      conn->state = Connection::State::closed;
+      connections_.erase(conn_key);
+      if (was_handshaking) ++handshakes_rejected_;
+      if (callbacks_.on_error) callbacks_.on_error(conn, "connection reset");
+      return;
+    }
+    case SegmentKind::fin: {
+      conn->state = Connection::State::closed;
+      connections_.erase(conn_key);
+      return;
+    }
+    case SegmentKind::syn:
+      return;  // duplicate SYN on existing connection: ignore
+  }
+}
+
+}  // namespace odns::netsim

@@ -1,0 +1,111 @@
+#pragma once
+// Minimal connection-oriented transport on top of the packet plane: a
+// three-way handshake followed by length-prefixed messages, enough to
+// model DNS-over-TCP / DoT semantics.
+//
+// The property under study (§6 of the paper): a client validates that
+// the SYN-ACK arrives from the address it connected to. A transparent
+// forwarder relays the SYN with the client's source preserved, so the
+// server's SYN-ACK reaches the client directly — from the *server's*
+// address, not the forwarder's — and the handshake is rejected.
+// Connection-based DNS therefore cannot be transparently forwarded.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/sim.hpp"
+
+namespace odns::netsim {
+
+enum class SegmentKind : std::uint8_t { syn, syn_ack, ack, data, rst, fin };
+
+/// Stream segments ride inside UDP-shaped packets with a tiny header
+/// encoded into the payload (the packet plane stays protocol-agnostic).
+struct Segment {
+  SegmentKind kind = SegmentKind::syn;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<Segment> decode(const std::vector<std::uint8_t>& wire);
+};
+
+class StreamEndpoint;
+
+/// One connection's state, shared between the endpoint and callbacks.
+struct Connection {
+  enum class State : std::uint8_t {
+    syn_sent,
+    syn_received,
+    established,
+    closed,
+  };
+  util::Ipv4 local_addr;
+  util::Ipv4 peer_addr;      // the address this side believes it talks to
+  std::uint16_t local_port = 0;
+  std::uint16_t peer_port = 0;
+  State state = State::syn_sent;
+  bool initiator = false;
+};
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+struct StreamCallbacks {
+  /// New inbound connection established (server side).
+  std::function<void(const ConnectionPtr&)> on_accept;
+  /// Outbound connect completed (client side).
+  std::function<void(const ConnectionPtr&)> on_connect;
+  /// A full message arrived.
+  std::function<void(const ConnectionPtr&, std::vector<std::uint8_t>)>
+      on_message;
+  /// Connection refused / reset / handshake rejected.
+  std::function<void(const ConnectionPtr&, const std::string& reason)>
+      on_error;
+};
+
+/// A host's connection-oriented endpoint. Register one per host; it
+/// claims a listening port and a range of ephemeral ports via the
+/// simulator's UDP plumbing.
+class StreamEndpoint : public App {
+ public:
+  StreamEndpoint(Simulator& sim, HostId host, StreamCallbacks callbacks,
+                 util::Duration connect_timeout = util::Duration::seconds(3));
+
+  /// Listens for handshakes on `port`.
+  void listen(std::uint16_t port);
+
+  /// Initiates a connection to addr:port; on_connect / on_error fire
+  /// later. Returns the connection handle (state syn_sent).
+  ConnectionPtr connect(util::Ipv4 addr, std::uint16_t port);
+
+  /// Sends one length-delimited message on an established connection.
+  void send(const ConnectionPtr& conn, std::vector<std::uint8_t> message);
+
+  void close(const ConnectionPtr& conn);
+
+  [[nodiscard]] std::uint64_t handshakes_rejected() const {
+    return handshakes_rejected_;
+  }
+
+  void on_datagram(const Datagram& dgram) override;
+
+ private:
+  static std::uint64_t key(util::Ipv4 peer, std::uint16_t peer_port,
+                           std::uint16_t local_port) {
+    return (std::uint64_t{peer.value()} << 32) |
+           (std::uint64_t{peer_port} << 16) | local_port;
+  }
+  void transmit(const ConnectionPtr& conn, const Segment& seg);
+
+  Simulator* sim_;
+  HostId host_;
+  StreamCallbacks callbacks_;
+  util::Duration connect_timeout_;
+  std::uint16_t listen_port_ = 0;
+  std::uint16_t next_ephemeral_ = 52000;
+  std::unordered_map<std::uint64_t, ConnectionPtr> connections_;
+  std::uint64_t handshakes_rejected_ = 0;
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,74 @@
+#include "nodes/cache.hpp"
+
+#include <algorithm>
+
+namespace odns::nodes {
+
+std::string DnsCache::key(const dnswire::Name& name, dnswire::RrType type) {
+  return name.canonical() + "/" +
+         std::to_string(static_cast<std::uint16_t>(type));
+}
+
+void DnsCache::put(const dnswire::Name& name, dnswire::RrType type,
+                   const std::vector<dnswire::ResourceRecord>& records,
+                   util::SimTime now) {
+  if (records.empty()) return;
+  std::uint32_t ttl = max_ttl_;
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  if (entries_.size() >= max_entries_) {
+    // Full: drop an arbitrary entry (the paper's resolvers face cache
+    // eviction pressure from query-based scans; modeled coarsely).
+    entries_.erase(entries_.begin());
+    ++stats_.evictions;
+  }
+  Entry e;
+  e.records = records;
+  e.expiry = now + util::Duration::seconds(ttl);
+  e.original_ttl = ttl;
+  entries_[key(name, type)] = std::move(e);
+  ++stats_.inserts;
+}
+
+void DnsCache::put_negative(const dnswire::Name& name, dnswire::RrType type,
+                            dnswire::Rcode rcode, std::uint32_t ttl,
+                            util::SimTime now) {
+  Entry e;
+  e.negative = true;
+  e.rcode = rcode;
+  e.expiry = now + util::Duration::seconds(std::min(ttl, max_ttl_));
+  e.original_ttl = ttl;
+  entries_[key(name, type)] = std::move(e);
+  ++stats_.inserts;
+}
+
+std::optional<CachedAnswer> DnsCache::get(const dnswire::Name& name,
+                                          dnswire::RrType type,
+                                          util::SimTime now) {
+  auto it = entries_.find(key(name, type));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expiry <= now) {
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto& e = it->second;
+  CachedAnswer out;
+  out.negative = e.negative;
+  out.rcode = e.rcode;
+  const auto remaining =
+      static_cast<std::uint32_t>((e.expiry - now).as_seconds());
+  out.remaining_ttl = std::max<std::uint32_t>(remaining, 1);
+  if (e.negative) {
+    ++stats_.negative_hits;
+  } else {
+    out.records = e.records;
+    for (auto& rr : out.records) rr.ttl = out.remaining_ttl;
+    ++stats_.hits;
+  }
+  return out;
+}
+
+}  // namespace odns::nodes

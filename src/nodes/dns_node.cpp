@@ -1,0 +1,49 @@
+#include "nodes/dns_node.hpp"
+
+namespace odns::nodes {
+
+void DnsNode::on_datagram(const netsim::Datagram& dgram) {
+  ++counters_.datagrams_in;
+  auto parsed = dnswire::decode(*dgram.payload);
+  if (!parsed) {
+    ++counters_.parse_errors;
+    return;
+  }
+  auto msg = std::move(parsed).value();
+  if (msg.header.qr) {
+    ++counters_.responses_in;
+  } else {
+    ++counters_.queries_in;
+  }
+  on_message(dgram, std::move(msg));
+}
+
+void DnsNode::send_message(util::Ipv4 dst, std::uint16_t src_port,
+                           std::uint16_t dst_port, const dnswire::Message& msg,
+                           std::optional<util::Ipv4> src_override) {
+  netsim::SendOptions opts;
+  opts.dst = dst;
+  opts.src_port = src_port;
+  opts.dst_port = dst_port;
+  opts.payload = dnswire::encode(msg);
+  opts.spoof_src = src_override;
+  if (msg.header.qr) {
+    ++counters_.responses_out;
+  } else {
+    ++counters_.queries_out;
+  }
+  sim_->send_udp(host_, std::move(opts));
+}
+
+void DnsNode::reply(const netsim::Datagram& dgram, const dnswire::Message& msg,
+                    std::optional<util::Ipv4> src_override) {
+  // Reply source defaults to the address the query arrived on, which is
+  // what distinguishes sensor 1 (same address) from sensor 2 (different
+  // address) in the controlled experiment.
+  send_message(dgram.src, /*src_port=*/dgram.dst_port,
+               /*dst_port=*/dgram.src_port, msg,
+               src_override.has_value() ? src_override
+                                        : std::optional<util::Ipv4>(dgram.dst));
+}
+
+}  // namespace odns::nodes

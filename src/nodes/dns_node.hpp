@@ -1,0 +1,65 @@
+#pragma once
+// Shared base for DNS speakers living on simulated hosts: datagram
+// parsing, reply plumbing, per-node counters.
+
+#include <cstdint>
+#include <optional>
+
+#include "dnswire/codec.hpp"
+#include "dnswire/message.hpp"
+#include "netsim/sim.hpp"
+
+namespace odns::nodes {
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+struct NodeCounters {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t queries_in = 0;
+  std::uint64_t responses_in = 0;
+  std::uint64_t responses_out = 0;
+  std::uint64_t queries_out = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t servfail = 0;
+};
+
+class DnsNode : public netsim::App {
+ public:
+  DnsNode(netsim::Simulator& sim, netsim::HostId host)
+      : sim_(&sim), host_(host) {}
+
+  [[nodiscard]] netsim::HostId host() const { return host_; }
+  [[nodiscard]] util::Ipv4 address() const {
+    return sim_->net().host(host_).addrs.front();
+  }
+  [[nodiscard]] const NodeCounters& counters() const { return counters_; }
+
+  void on_datagram(const netsim::Datagram& dgram) final;
+
+ protected:
+  /// Dispatch target; `msg` is the successfully parsed payload.
+  virtual void on_message(const netsim::Datagram& dgram,
+                          dnswire::Message msg) = 0;
+
+  netsim::Simulator& sim() { return *sim_; }
+
+  /// Sends `msg` from this host. `src_override` supports service
+  /// (anycast) reply addresses and transparent-spoof behaviour.
+  void send_message(util::Ipv4 dst, std::uint16_t src_port,
+                    std::uint16_t dst_port, const dnswire::Message& msg,
+                    std::optional<util::Ipv4> src_override = std::nullopt);
+
+  /// Replies to the datagram's source (swapped ports).
+  void reply(const netsim::Datagram& dgram, const dnswire::Message& msg,
+             std::optional<util::Ipv4> src_override = std::nullopt);
+
+  NodeCounters counters_;
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::HostId host_;
+};
+
+}  // namespace odns::nodes

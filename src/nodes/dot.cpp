@@ -1,0 +1,68 @@
+#include "nodes/dot.hpp"
+
+namespace odns::nodes {
+
+DotService::DotService(netsim::Simulator& sim, netsim::HostId host,
+                       util::Ipv4 control_addr)
+    : endpoint_(
+          sim, host,
+          netsim::StreamCallbacks{
+              /*on_accept=*/nullptr,
+              /*on_connect=*/nullptr,
+              /*on_message=*/
+              [this](const netsim::ConnectionPtr& conn,
+                     std::vector<std::uint8_t> message) {
+                auto parsed = dnswire::decode(message);
+                if (!parsed || parsed.value().header.qr ||
+                    parsed.value().questions.size() != 1) {
+                  return;
+                }
+                const auto& query = parsed.value();
+                auto resp = dnswire::make_response(query);
+                resp.header.aa = true;
+                const auto& name = query.questions.front().name;
+                resp.answers.push_back(dnswire::ResourceRecord::a(
+                    name, conn->peer_addr, 300));
+                resp.answers.push_back(
+                    dnswire::ResourceRecord::a(name, control_addr_, 300));
+                ++queries_served_;
+                endpoint_.send(conn, dnswire::encode(resp));
+              },
+              /*on_error=*/nullptr}),
+      control_addr_(control_addr) {
+  endpoint_.listen(kDotPort);
+}
+
+DotClient::DotClient(netsim::Simulator& sim, netsim::HostId host)
+    : sim_(&sim),
+      endpoint_(
+          sim, host,
+          netsim::StreamCallbacks{
+              /*on_accept=*/nullptr,
+              /*on_connect=*/
+              [this](const netsim::ConnectionPtr& conn) {
+                auto query = dnswire::make_query(0x0853, pending_name_,
+                                                 dnswire::RrType::a);
+                endpoint_.send(conn, dnswire::encode(query));
+              },
+              /*on_message=*/
+              [this](const netsim::ConnectionPtr& conn,
+                     std::vector<std::uint8_t> message) {
+                auto parsed = dnswire::decode(message);
+                if (parsed && parsed.value().header.qr) {
+                  ++answers_;
+                  last_answer_ = std::move(parsed).value();
+                }
+                endpoint_.close(conn);
+              },
+              /*on_error=*/
+              [this](const netsim::ConnectionPtr&, const std::string&) {
+                ++failures_;
+              }}) {}
+
+void DotClient::query(util::Ipv4 server, const dnswire::Name& name) {
+  pending_name_ = name;
+  endpoint_.connect(server, kDotPort);
+}
+
+}  // namespace odns::nodes

@@ -1,0 +1,59 @@
+#pragma once
+// DNS-over-TLS-style service and client on the stream transport (§6
+// extension). The crypto is out of scope — what matters for the
+// paper's argument is the *connection*: a transparent forwarder cannot
+// relay connection-oriented DNS because the handshake reply reaches the
+// client from the real server's address and is rejected.
+
+#include <optional>
+#include <vector>
+
+#include "dnswire/codec.hpp"
+#include "netsim/stream.hpp"
+
+namespace odns::nodes {
+
+inline constexpr std::uint16_t kDotPort = 853;
+
+/// Minimal DoT server: answers A queries with a mirror-style response
+/// (dynamic client A + static control A), like the measurement zone.
+class DotService {
+ public:
+  DotService(netsim::Simulator& sim, netsim::HostId host,
+             util::Ipv4 control_addr);
+
+  [[nodiscard]] std::uint64_t queries_served() const {
+    return queries_served_;
+  }
+
+ private:
+  netsim::StreamEndpoint endpoint_;
+  util::Ipv4 control_addr_;
+  std::uint64_t queries_served_ = 0;
+};
+
+/// Minimal DoT client: connects, sends one query, records the answer.
+class DotClient {
+ public:
+  DotClient(netsim::Simulator& sim, netsim::HostId host);
+
+  /// Starts a query toward a DoT server. Outcome is visible via the
+  /// accessors after the simulator runs.
+  void query(util::Ipv4 server, const dnswire::Name& name);
+
+  [[nodiscard]] std::uint64_t answers() const { return answers_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] const std::optional<dnswire::Message>& last_answer() const {
+    return last_answer_;
+  }
+
+ private:
+  netsim::Simulator* sim_;
+  netsim::StreamEndpoint endpoint_;
+  dnswire::Name pending_name_;
+  std::uint64_t answers_ = 0;
+  std::uint64_t failures_ = 0;
+  std::optional<dnswire::Message> last_answer_;
+};
+
+}  // namespace odns::nodes

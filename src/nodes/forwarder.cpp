@@ -1,0 +1,104 @@
+#include "nodes/forwarder.hpp"
+
+namespace odns::nodes {
+
+using dnswire::ARecord;
+using dnswire::Message;
+using dnswire::Rcode;
+
+RecursiveForwarder::RecursiveForwarder(netsim::Simulator& sim,
+                                       netsim::HostId host,
+                                       ForwarderConfig cfg)
+    : DnsNode(sim, host), cfg_(cfg) {}
+
+void RecursiveForwarder::start() {
+  sim().bind_udp(host(), kDnsPort, this);
+  sim().bind_udp_wildcard(host(), this);
+}
+
+void RecursiveForwarder::on_message(const netsim::Datagram& dgram,
+                                    dnswire::Message msg) {
+  if (dgram.dst_port == kDnsPort && !msg.header.qr) {
+    handle_query(dgram, msg);
+  } else if (dgram.dst_port != kDnsPort && msg.header.qr) {
+    handle_response(dgram, msg);
+  }
+}
+
+void RecursiveForwarder::handle_query(const netsim::Datagram& dgram,
+                                      const Message& msg) {
+  ++fstats_.client_queries;
+  if (msg.questions.size() != 1) {
+    reply(dgram, dnswire::make_response(msg, Rcode::formerr));
+    return;
+  }
+  const auto& q = msg.questions.front();
+
+  if (cfg_.cache_responses) {
+    if (auto hit = cache_.get(q.name, q.type, sim().now());
+        hit && !hit->negative) {
+      ++fstats_.cache_answers;
+      Message resp = dnswire::make_response(msg);
+      resp.header.ra = true;
+      resp.answers = hit->records;
+      reply(dgram, resp);
+      return;
+    }
+  }
+
+  Pending p;
+  p.client = dgram.src;
+  p.client_port = dgram.src_port;
+  p.client_txid = msg.header.id;
+  p.arrival_dst = dgram.dst;
+  p.question = q;
+  p.deadline = sim().now() + cfg_.upstream_timeout;
+
+  // Source substitution happens implicitly: the upstream query leaves
+  // with this host's own address — the defining difference from a
+  // transparent forwarder.
+  const std::uint16_t port = next_port_;
+  next_port_ = next_port_ >= 65535 ? 32768 : static_cast<std::uint16_t>(next_port_ + 1);
+  const std::uint16_t txid = next_txid_++;
+  pending_[key(port, txid)] = p;
+  ++fstats_.forwarded;
+
+  Message upstream = dnswire::make_query(txid, q.name, q.type);
+  send_message(cfg_.upstream, port, kDnsPort, upstream);
+}
+
+void RecursiveForwarder::handle_response(const netsim::Datagram& dgram,
+                                         const Message& msg) {
+  auto it = pending_.find(key(dgram.dst_port, msg.header.id));
+  if (it == pending_.end()) return;
+  Pending p = it->second;
+  pending_.erase(it);
+  ++fstats_.upstream_responses;
+  if (sim().now() > p.deadline) {
+    ++fstats_.expired;
+    return;
+  }
+  if (cfg_.cache_responses && msg.header.rcode == Rcode::noerror &&
+      !msg.answers.empty()) {
+    cache_.put(p.question.name, p.question.type, msg.answers, sim().now());
+  }
+  deliver_response(p, msg);
+}
+
+void RecursiveForwarder::deliver_response(const Pending& p,
+                                          dnswire::Message resp) {
+  resp.header.id = p.client_txid;
+  if (cfg_.rewrite_answers) {
+    for (auto& rr : resp.answers) {
+      if (std::get_if<ARecord>(&rr.rdata) != nullptr) {
+        rr.rdata = ARecord{cfg_.rewrite_target};
+      }
+    }
+  }
+  if (cfg_.strip_second_record && resp.answers.size() > 1) {
+    resp.answers.resize(1);
+  }
+  send_message(p.client, kDnsPort, p.client_port, resp, p.arrival_dst);
+}
+
+}  // namespace odns::nodes

@@ -1,0 +1,22 @@
+#include "nodes/ratelimit.hpp"
+
+namespace odns::nodes {
+
+bool PrefixRateLimiter::allow(util::Ipv4 src, util::SimTime now) {
+  const auto prefix = util::Prefix::covering24(src);
+  auto it = last_grant_.find(prefix);
+  if (it == last_grant_.end()) {
+    last_grant_.emplace(prefix, now);
+    ++granted_;
+    return true;
+  }
+  if (now - it->second >= window_) {
+    it->second = now;
+    ++granted_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+}  // namespace odns::nodes

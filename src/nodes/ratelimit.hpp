@@ -1,0 +1,34 @@
+#pragma once
+// Per-/24-prefix rate limiter, the anti-amplification guard the paper's
+// honeypot sensors deploy: one answer per source /24 per window, which
+// also blunts DoS carpet-bombing (whole-prefix victim spraying).
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace odns::nodes {
+
+class PrefixRateLimiter {
+ public:
+  explicit PrefixRateLimiter(util::Duration window = util::Duration::minutes(5))
+      : window_(window) {}
+
+  /// True if a request from `src` may be served at `now`; records the
+  /// grant. Denied requests do not reset the window.
+  bool allow(util::Ipv4 src, util::SimTime now);
+
+  [[nodiscard]] std::uint64_t granted() const { return granted_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+  [[nodiscard]] util::Duration window() const { return window_; }
+
+ private:
+  util::Duration window_;
+  std::unordered_map<util::Prefix, util::SimTime> last_grant_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace odns::nodes

@@ -1,0 +1,346 @@
+#include "nodes/resolver.hpp"
+
+#include <algorithm>
+
+namespace odns::nodes {
+
+using dnswire::ARecord;
+using dnswire::CnameRecord;
+using dnswire::Message;
+using dnswire::Name;
+using dnswire::NsRecord;
+using dnswire::Rcode;
+using dnswire::ResourceRecord;
+using dnswire::RrType;
+using dnswire::SoaRecord;
+
+namespace {
+
+std::string question_key(const dnswire::Question& q) {
+  return q.name.canonical() + "/" +
+         std::to_string(static_cast<std::uint16_t>(q.type));
+}
+
+/// Negative TTL from the SOA in the authority section (RFC 2308).
+std::uint32_t negative_ttl_of(const Message& msg) {
+  for (const auto& rr : msg.authorities) {
+    if (const auto* soa = std::get_if<SoaRecord>(&rr.rdata)) {
+      return std::min(rr.ttl, soa->minimum);
+    }
+  }
+  return 300;
+}
+
+}  // namespace
+
+RecursiveResolver::RecursiveResolver(netsim::Simulator& sim,
+                                     netsim::HostId host, ResolverConfig cfg,
+                                     std::uint64_t seed)
+    : DnsNode(sim, host), cfg_(std::move(cfg)), cache_(cfg_.max_ttl),
+      rng_(seed) {}
+
+void RecursiveResolver::start() {
+  sim().bind_udp(host(), kDnsPort, this);
+  sim().bind_udp_wildcard(host(), this);
+}
+
+void RecursiveResolver::on_message(const netsim::Datagram& dgram,
+                                   dnswire::Message msg) {
+  if (dgram.dst_port == kDnsPort && !msg.header.qr) {
+    handle_client_query(dgram, msg);
+  } else if (dgram.dst_port != kDnsPort && msg.header.qr) {
+    handle_upstream_response(dgram, msg);
+  }
+  // Anything else (responses to port 53, queries to ephemeral ports) is
+  // reflection noise; dropped.
+}
+
+void RecursiveResolver::handle_client_query(const netsim::Datagram& dgram,
+                                            const Message& msg) {
+  ++stats_.client_queries;
+  if (msg.questions.size() != 1) {
+    reply(dgram, dnswire::make_response(msg, Rcode::formerr));
+    return;
+  }
+  const auto& q = msg.questions.front();
+
+  if (!cfg_.open) {
+    const bool allowed =
+        std::any_of(cfg_.allowed.begin(), cfg_.allowed.end(),
+                    [&](const util::Prefix& p) { return p.contains(dgram.src); });
+    if (!allowed) {
+      ++stats_.refused_acl;
+      ++counters_.refused;
+      Message resp = dnswire::make_response(msg, Rcode::refused);
+      resp.header.ra = false;
+      reply(dgram, resp, cfg_.service_addr);
+      return;
+    }
+  }
+
+  // Cache first: the response-based scan method deliberately reuses one
+  // static name so that resolver caches absorb the load (§2, Table 2).
+  if (auto hit = cache_.get(q.name, q.type, sim().now())) {
+    ++stats_.answered_from_cache;
+    Message resp = dnswire::make_response(msg, hit->negative
+                                                   ? hit->rcode
+                                                   : Rcode::noerror);
+    resp.header.ra = true;
+    resp.answers = hit->records;
+    reply(dgram, resp, cfg_.service_addr);
+    return;
+  }
+
+  Client client{dgram.src, dgram.src_port, msg.header.id, dgram.dst,
+                msg.header.rd};
+  const auto key = question_key(q);
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    it->second->clients.push_back(client);
+    return;
+  }
+  auto task = std::make_shared<Task>();
+  task->original = q;
+  task->current_name = q.name;
+  task->clients.push_back(client);
+  inflight_.emplace(key, task);
+  ++stats_.full_resolutions;
+  begin_iteration(task);
+}
+
+std::vector<util::Ipv4> RecursiveResolver::best_servers_for(const Name& name) {
+  // Walk from the query name toward the root, looking for a cached
+  // delegation whose glue we also have.
+  Name zone = name;
+  while (true) {
+    if (auto ns_set = cache_.get(zone, RrType::ns, sim().now());
+        ns_set && !ns_set->negative) {
+      std::vector<util::Ipv4> addrs;
+      for (const auto& rr : ns_set->records) {
+        if (const auto* ns = std::get_if<NsRecord>(&rr.rdata)) {
+          if (auto glue = cache_.get(ns->host, RrType::a, sim().now());
+              glue && !glue->negative) {
+            for (const auto& g : glue->records) {
+              if (const auto* a = std::get_if<ARecord>(&g.rdata)) {
+                addrs.push_back(a->addr);
+              }
+            }
+          }
+        }
+      }
+      if (!addrs.empty()) return addrs;
+    }
+    if (zone.is_root()) break;
+    zone = zone.parent();
+  }
+  return cfg_.root_hints;
+}
+
+void RecursiveResolver::begin_iteration(const TaskPtr& task) {
+  task->servers = best_servers_for(task->current_name);
+  task->server_idx = 0;
+  task->retries_left = cfg_.max_retries;
+  if (task->servers.empty()) {
+    finish_servfail(task);
+    return;
+  }
+  query_current_server(task);
+}
+
+void RecursiveResolver::query_current_server(const TaskPtr& task) {
+  if (task->done) return;
+  const util::Ipv4 server = task->servers[task->server_idx];
+  const auto txid = static_cast<std::uint16_t>(rng_.uniform(1, 0xFFFF));
+  const std::uint16_t port = next_port_;
+  next_port_ = next_port_ >= 65535 ? 49152 : static_cast<std::uint16_t>(next_port_ + 1);
+
+  const auto generation = next_generation_++;
+  task->generation = generation;
+
+  // 0x20: flip the case of each letter randomly; the authoritative
+  // server must echo the exact spelling back.
+  dnswire::Name cased = task->current_name;
+  if (cfg_.case_randomization) {
+    std::vector<std::string> labels = cased.labels();
+    for (auto& label : labels) {
+      for (auto& ch : label) {
+        if (ch >= 'a' && ch <= 'z' && rng_.chance(0.5)) {
+          ch = static_cast<char>(ch - 'a' + 'A');
+        } else if (ch >= 'A' && ch <= 'Z' && rng_.chance(0.5)) {
+          ch = static_cast<char>(ch - 'A' + 'a');
+        }
+      }
+    }
+    if (auto rebuilt = dnswire::Name::from_labels(std::move(labels))) {
+      cased = *rebuilt;
+    }
+  }
+  pending_upstream_[pending_key(port, txid)] = PendingUpstream{task, cased};
+
+  Message q = dnswire::make_query(txid, cased, task->original.type,
+                                  /*recursion_desired=*/false);
+  ++stats_.upstream_queries;
+  send_message(server, port, kDnsPort, q);
+
+  sim().schedule(cfg_.upstream_timeout, [this, task, generation, port, txid]() {
+    if (task->done || task->generation != generation) return;
+    pending_upstream_.erase(pending_key(port, txid));
+    on_upstream_timeout(task, generation);
+  });
+}
+
+void RecursiveResolver::on_upstream_timeout(const TaskPtr& task,
+                                            std::uint64_t /*generation*/) {
+  ++stats_.upstream_timeouts;
+  if (task->retries_left > 0) {
+    --task->retries_left;
+    query_current_server(task);
+    return;
+  }
+  advance_server(task);
+}
+
+void RecursiveResolver::advance_server(const TaskPtr& task) {
+  ++task->server_idx;
+  task->retries_left = cfg_.max_retries;
+  if (task->server_idx >= task->servers.size()) {
+    finish_servfail(task);
+    return;
+  }
+  query_current_server(task);
+}
+
+void RecursiveResolver::handle_upstream_response(const netsim::Datagram& dgram,
+                                                 const Message& msg) {
+  auto it = pending_upstream_.find(pending_key(dgram.dst_port, msg.header.id));
+  if (it == pending_upstream_.end()) return;  // late or off-path response
+  // 0x20 validation: the echoed question must match the exact case we
+  // sent. An off-path forger guessing (port, txid) still fails here
+  // with probability 2^-letters.
+  if (cfg_.case_randomization) {
+    if (msg.questions.size() != 1 ||
+        msg.questions.front().name.to_string() !=
+            it->second.cased_name.to_string()) {
+      ++stats_.rejected_0x20;
+      return;  // keep the transaction pending; the real answer may come
+    }
+  }
+  TaskPtr task = it->second.task;
+  pending_upstream_.erase(it);
+  if (task->done) return;
+  task->generation = next_generation_++;  // cancel the timeout
+
+  if (msg.header.rcode == Rcode::nxdomain) {
+    cache_.put_negative(task->current_name, task->original.type,
+                        Rcode::nxdomain, negative_ttl_of(msg), sim().now());
+    finish_negative(task, Rcode::nxdomain);
+    return;
+  }
+  if (msg.header.rcode != Rcode::noerror) {
+    advance_server(task);
+    return;
+  }
+
+  // Collect answers matching the current name.
+  std::vector<ResourceRecord> direct;
+  const ResourceRecord* cname = nullptr;
+  for (const auto& rr : msg.answers) {
+    if (rr.name != task->current_name) continue;
+    if (rr.type == task->original.type) {
+      direct.push_back(rr);
+    } else if (rr.type == RrType::cname) {
+      cname = &rr;
+    }
+  }
+
+  if (!direct.empty()) {
+    cache_.put(task->current_name, task->original.type, direct, sim().now());
+    finish_positive(task, std::move(direct));
+    return;
+  }
+
+  if (cname != nullptr) {
+    if (++task->cname_depth > cfg_.max_cname_depth) {
+      finish_servfail(task);
+      return;
+    }
+    cache_.put(task->current_name, RrType::cname, {*cname}, sim().now());
+    task->cname_chain.push_back(*cname);
+    task->current_name = std::get<CnameRecord>(cname->rdata).target;
+    begin_iteration(task);
+    return;
+  }
+
+  // Referral? Cache the delegation and descend.
+  std::vector<ResourceRecord> ns_records;
+  for (const auto& rr : msg.authorities) {
+    if (rr.type == RrType::ns) ns_records.push_back(rr);
+  }
+  if (!ns_records.empty()) {
+    if (++task->referrals > cfg_.max_referrals) {
+      finish_servfail(task);
+      return;
+    }
+    cache_.put(ns_records.front().name, RrType::ns, ns_records, sim().now());
+    std::vector<util::Ipv4> next_servers;
+    for (const auto& rr : msg.additionals) {
+      if (const auto* a = std::get_if<ARecord>(&rr.rdata)) {
+        cache_.put(rr.name, RrType::a, {rr}, sim().now());
+        next_servers.push_back(a->addr);
+      }
+    }
+    if (next_servers.empty()) {
+      // Glueless delegation: unsupported fallback — try remaining
+      // servers, else fail. (Our topologies always provide glue.)
+      advance_server(task);
+      return;
+    }
+    task->servers = std::move(next_servers);
+    task->server_idx = 0;
+    task->retries_left = cfg_.max_retries;
+    query_current_server(task);
+    return;
+  }
+
+  // NODATA.
+  cache_.put_negative(task->current_name, task->original.type, Rcode::noerror,
+                      negative_ttl_of(msg), sim().now());
+  finish_negative(task, Rcode::noerror);
+}
+
+void RecursiveResolver::finish_positive(const TaskPtr& task,
+                                        std::vector<ResourceRecord> answers) {
+  std::vector<ResourceRecord> full = task->cname_chain;
+  full.insert(full.end(), answers.begin(), answers.end());
+  respond_all(task, Rcode::noerror, full);
+}
+
+void RecursiveResolver::finish_negative(const TaskPtr& task, Rcode rcode) {
+  respond_all(task, rcode, task->cname_chain);
+}
+
+void RecursiveResolver::finish_servfail(const TaskPtr& task) {
+  ++stats_.servfails;
+  ++counters_.servfail;
+  respond_all(task, Rcode::servfail, {});
+}
+
+void RecursiveResolver::respond_all(
+    const TaskPtr& task, Rcode rcode,
+    const std::vector<ResourceRecord>& answers) {
+  task->done = true;
+  inflight_.erase(question_key(task->original));
+  for (const auto& client : task->clients) {
+    Message resp;
+    resp.header.id = client.txid;
+    resp.header.qr = true;
+    resp.header.rd = client.recursion_desired;
+    resp.header.ra = true;
+    resp.header.rcode = rcode;
+    resp.questions.push_back(task->original);
+    resp.answers = answers;
+    const util::Ipv4 reply_src = cfg_.service_addr.value_or(client.arrival_dst);
+    send_message(client.addr, kDnsPort, client.port, resp, reply_src);
+  }
+}
+
+}  // namespace odns::nodes

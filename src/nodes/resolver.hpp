@@ -1,0 +1,132 @@
+#pragma once
+// Iterative (recursive-resolving) DNS server: walks referrals from the
+// root hints, caches positive/negative answers and delegation data,
+// coalesces duplicate in-flight questions, retries and times out.
+//
+// Open vs. restricted operation is an ACL: restricted resolvers REFUSE
+// sources outside their allow list — which is why transparent
+// forwarders must relay to *open* resolvers to act as ODNS components.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nodes/cache.hpp"
+#include "nodes/dns_node.hpp"
+#include "util/rng.hpp"
+
+namespace odns::nodes {
+
+struct ResolverConfig {
+  bool open = true;
+  std::vector<util::Prefix> allowed;   // consulted when !open
+  std::vector<util::Ipv4> root_hints;
+  /// Reply-to-client source address; anycast services answer from the
+  /// shared service address rather than the PoP unicast address.
+  std::optional<util::Ipv4> service_addr;
+  util::Duration upstream_timeout = util::Duration::seconds(3);
+  int max_retries = 2;
+  int max_cname_depth = 8;
+  int max_referrals = 16;
+  std::uint32_t max_ttl = 86400;
+  /// DNS 0x20 hardening: randomize the ASCII case of upstream query
+  /// names and require responses to echo it exactly, raising the bar
+  /// for off-path response forgery (dns-0x20 draft; deployed by large
+  /// public resolvers).
+  bool case_randomization = true;
+};
+
+struct ResolverStats {
+  std::uint64_t client_queries = 0;
+  std::uint64_t refused_acl = 0;
+  std::uint64_t answered_from_cache = 0;
+  std::uint64_t full_resolutions = 0;
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t upstream_timeouts = 0;
+  std::uint64_t servfails = 0;
+  std::uint64_t rejected_0x20 = 0;  // responses with mangled name case
+};
+
+class RecursiveResolver : public DnsNode {
+ public:
+  RecursiveResolver(netsim::Simulator& sim, netsim::HostId host,
+                    ResolverConfig cfg, std::uint64_t seed = 7);
+
+  /// Binds port 53 (service) and the wildcard (upstream responses).
+  void start();
+
+  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  [[nodiscard]] const DnsCache& cache() const { return cache_; }
+  DnsCache& cache_mutable() { return cache_; }
+  [[nodiscard]] const ResolverConfig& config() const { return cfg_; }
+
+ protected:
+  void on_message(const netsim::Datagram& dgram, dnswire::Message msg) override;
+
+ private:
+  struct Client {
+    util::Ipv4 addr;
+    std::uint16_t port = 0;
+    std::uint16_t txid = 0;
+    util::Ipv4 arrival_dst;  // address the query arrived on
+    bool recursion_desired = true;
+  };
+
+  struct Task {
+    dnswire::Question original;
+    dnswire::Name current_name;  // changes while chasing CNAMEs
+    std::vector<dnswire::ResourceRecord> cname_chain;
+    std::vector<Client> clients;
+    std::vector<util::Ipv4> servers;
+    std::size_t server_idx = 0;
+    int retries_left = 0;
+    int cname_depth = 0;
+    int referrals = 0;
+    std::uint64_t generation = 0;  // invalidates stale timeout events
+    bool done = false;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  void handle_client_query(const netsim::Datagram& dgram,
+                           const dnswire::Message& msg);
+  void handle_upstream_response(const netsim::Datagram& dgram,
+                                const dnswire::Message& msg);
+
+  void begin_iteration(const TaskPtr& task);
+  void query_current_server(const TaskPtr& task);
+  void on_upstream_timeout(const TaskPtr& task, std::uint64_t generation);
+  void advance_server(const TaskPtr& task);
+
+  void finish_positive(const TaskPtr& task,
+                       std::vector<dnswire::ResourceRecord> answers);
+  void finish_negative(const TaskPtr& task, dnswire::Rcode rcode);
+  void finish_servfail(const TaskPtr& task);
+  void respond_all(const TaskPtr& task, dnswire::Rcode rcode,
+                   const std::vector<dnswire::ResourceRecord>& answers);
+
+  /// Best cached name-server addresses for `name`: walks up the label
+  /// tree looking for cached NS + glue; falls back to root hints.
+  std::vector<util::Ipv4> best_servers_for(const dnswire::Name& name);
+
+  static std::uint32_t pending_key(std::uint16_t port, std::uint16_t txid) {
+    return (std::uint32_t{port} << 16) | txid;
+  }
+
+  struct PendingUpstream {
+    TaskPtr task;
+    dnswire::Name cased_name;  // exact case sent (0x20 validation)
+  };
+
+  ResolverConfig cfg_;
+  DnsCache cache_;
+  util::Rng rng_;
+  ResolverStats stats_;
+  std::unordered_map<std::string, TaskPtr> inflight_;  // by question key
+  std::unordered_map<std::uint32_t, PendingUpstream> pending_upstream_;
+  std::uint16_t next_port_ = 49152;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace odns::nodes

@@ -1,0 +1,21 @@
+#include "nodes/stub.hpp"
+
+namespace odns::nodes {
+
+std::uint16_t StubClient::query(util::Ipv4 server, const dnswire::Name& name,
+                                dnswire::RrType type) {
+  const std::uint16_t txid = next_txid_++;
+  const std::uint16_t port = next_port_;
+  next_port_ = next_port_ >= 30000 ? 20000 : static_cast<std::uint16_t>(next_port_ + 1);
+  send_message(server, port, kDnsPort, dnswire::make_query(txid, name, type));
+  return txid;
+}
+
+void StubClient::on_message(const netsim::Datagram& dgram,
+                            dnswire::Message msg) {
+  if (!msg.header.qr) return;
+  responses_.push_back(StubResponse{dgram.src, dgram.src_port, dgram.dst_port,
+                                    std::move(msg), sim().now()});
+}
+
+}  // namespace odns::nodes

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal stub client: issues queries toward any DNS speaker and
+// records whatever comes back (from any source — by design, since
+// transparent forwarders produce responses from third parties).
+
+#include <cstdint>
+#include <vector>
+
+#include "nodes/dns_node.hpp"
+
+namespace odns::nodes {
+
+struct StubResponse {
+  util::Ipv4 from;
+  std::uint16_t from_port = 0;
+  std::uint16_t to_port = 0;
+  dnswire::Message message;
+  util::SimTime time;
+};
+
+class StubClient : public DnsNode {
+ public:
+  StubClient(netsim::Simulator& sim, netsim::HostId host)
+      : DnsNode(sim, host) {}
+
+  /// Binds the wildcard so responses to any ephemeral port arrive here.
+  void start() { sim().bind_udp_wildcard(host(), this); }
+
+  /// Fires a query; returns the transaction id used.
+  std::uint16_t query(util::Ipv4 server, const dnswire::Name& name,
+                      dnswire::RrType type = dnswire::RrType::a);
+
+  [[nodiscard]] const std::vector<StubResponse>& responses() const {
+    return responses_;
+  }
+  void clear() { responses_.clear(); }
+
+ protected:
+  void on_message(const netsim::Datagram& dgram, dnswire::Message msg) override;
+
+ private:
+  std::vector<StubResponse> responses_;
+  std::uint16_t next_txid_ = 100;
+  std::uint16_t next_port_ = 20000;
+};
+
+}  // namespace odns::nodes

@@ -1,0 +1,122 @@
+#include "registry/registry.hpp"
+
+namespace odns::registry {
+
+void RouteviewsTable::add(util::Prefix prefix, netsim::Asn origin) {
+  auto& bucket = by_len_[static_cast<std::size_t>(prefix.length())];
+  if (bucket.emplace(prefix.base().value(), origin).second) {
+    ++count_;
+  }
+}
+
+std::optional<netsim::Asn> RouteviewsTable::origin_of(util::Ipv4 addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_len_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const std::uint32_t masked =
+        len == 0 ? 0u : addr.value() & (~0u << (32 - len));
+    if (auto it = bucket.find(masked); it != bucket.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+RegistrySnapshot RegistrySnapshot::derive(const topo::Deployment& world,
+                                          const SnapshotConfig& cfg) {
+  RegistrySnapshot snap;
+  util::Rng rng{cfg.seed};
+  const auto& net = world.sim().net();
+
+  // --- Routeviews: announced prefixes, minus a sliver of unmapped
+  // space; router interfaces appear as /32s (traceroute hops must be
+  // attributable to ASes).
+  for (const auto& [prefix, asn] : net.announced_prefixes()) {
+    if (rng.chance(cfg.routeviews_drop)) continue;
+    snap.routeviews.add(prefix, asn);
+  }
+  for (netsim::Asn asn : net.all_asns()) {
+    const auto* info = net.find_as(asn);
+    for (auto router_ip : info->router_ips) {
+      if (rng.chance(cfg.routeviews_drop)) continue;
+      snap.routeviews.add(util::Prefix{router_ip, 32}, asn);
+    }
+  }
+
+  // --- whois/MaxMind: country registrations.
+  for (netsim::Asn asn : net.all_asns()) {
+    if (rng.chance(cfg.whois_missing)) continue;
+    snap.whois.add(asn, world.country_of_asn(asn));
+  }
+
+  // --- PeeringDB: sparse type records. Tier-1/transit networks are
+  // diligent registrants; the eyeball long tail mostly is not.
+  for (netsim::Asn asn : net.all_asns()) {
+    const auto type = world.type_of_asn(asn);
+    const double coverage =
+        (type == topo::AsType::tier1 || type == topo::AsType::transit)
+            ? 0.95
+            : cfg.peeringdb_coverage;
+    if (rng.chance(coverage)) snap.peeringdb.add(asn, type);
+  }
+
+  // --- CAIDA-like relationship database: most, not all, of the true
+  // provider→customer edges (DNSRoute++ §5 finds some of the missing).
+  for (const auto& [provider, customer] : world.provider_customer_edges()) {
+    if (rng.chance(cfg.caida_coverage)) snap.caida.add(provider, customer);
+  }
+
+  // --- Manual classification notes: independent second source that
+  // mostly covers what PeeringDB misses.
+  for (netsim::Asn asn : net.all_asns()) {
+    if (snap.peeringdb.type_of(asn).has_value()) continue;
+    if (rng.chance(cfg.manual_coverage)) {
+      snap.manual.add(asn, world.type_of_asn(asn));
+    }
+  }
+
+  // --- Shodan/Censys banner store for the fingerprint-visible slice
+  // of the population.
+  for (const auto& gt : world.ground_truth()) {
+    if (!gt.fingerprint_visible) continue;
+    DeviceObservation obs;
+    switch (gt.vendor) {
+      case topo::DeviceVendor::mikrotik:
+        // The characteristic RouterOS port set (§6 cites 10 such
+        // ports; winbox 8291 and bandwidth-test 2000 are the giveaway).
+        obs.open_ports = {53, 80, 2000, 8291, 8728, 8729};
+        obs.product = "MikroTik RouterOS";
+        break;
+      case topo::DeviceVendor::zyxel:
+        obs.open_ports = {53, 80, 443, 7547};
+        obs.product = "Zyxel VMG series";
+        break;
+      case topo::DeviceVendor::huawei:
+        obs.open_ports = {53, 80, 37443};
+        obs.product = "Huawei HG8245";
+        break;
+      case topo::DeviceVendor::tplink:
+        obs.open_ports = {53, 80, 1900};
+        obs.product = "TP-Link Archer";
+        break;
+      case topo::DeviceVendor::dlink:
+        obs.open_ports = {53, 80, 8181};
+        obs.product = "D-Link DIR series";
+        break;
+      case topo::DeviceVendor::unknown:
+        obs.open_ports = {53};
+        obs.product = "";
+        break;
+    }
+    snap.shodan.add(gt.addr, std::move(obs));
+  }
+
+  // --- Project AS sets: published by the operators themselves.
+  for (const auto& pop : world.pops()) {
+    snap.project_asns[pop.asn] = pop.project;
+  }
+
+  return snap;
+}
+
+}  // namespace odns::registry

@@ -1,0 +1,154 @@
+#pragma once
+// Dump-shaped views of the synthetic Internet, standing in for the
+// external data sources the paper joins against:
+//   Routeviews BGP dumps   → prefix-to-origin-ASN (99.9% coverage)
+//   whois + MaxMind        → ASN-to-country
+//   PeeringDB              → ASN-to-network-type (sparse, like reality)
+//   CAIDA AS-Rank          → AS relationship database (incomplete)
+// The analysis pipeline only sees these views, never the ground truth,
+// so its sanitization/fallback code paths run exactly as they would
+// against the real dumps.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "topo/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace odns::registry {
+
+/// Longest-prefix-match table: prefix → origin ASN.
+class RouteviewsTable {
+ public:
+  void add(util::Prefix prefix, netsim::Asn origin);
+
+  /// Longest-prefix match; nullopt for unrouted space (the ~0.1% the
+  /// paper could not map).
+  [[nodiscard]] std::optional<netsim::Asn> origin_of(util::Ipv4 addr) const;
+
+  [[nodiscard]] std::size_t entries() const { return count_; }
+
+ private:
+  // One exact-match map per prefix length; LPM walks /32 down to /0.
+  std::array<std::unordered_map<std::uint32_t, netsim::Asn>, 33> by_len_;
+  std::size_t count_ = 0;
+};
+
+class WhoisDb {
+ public:
+  void add(netsim::Asn asn, std::string country) {
+    countries_[asn] = std::move(country);
+  }
+  [[nodiscard]] std::optional<std::string> country_of(netsim::Asn asn) const {
+    auto it = countries_.find(asn);
+    if (it == countries_.end() || it->second.empty()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t entries() const { return countries_.size(); }
+
+ private:
+  std::unordered_map<netsim::Asn, std::string> countries_;
+};
+
+class PeeringDb {
+ public:
+  void add(netsim::Asn asn, topo::AsType type) { types_[asn] = type; }
+  [[nodiscard]] std::optional<topo::AsType> type_of(netsim::Asn asn) const {
+    auto it = types_.find(asn);
+    if (it == types_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t entries() const { return types_.size(); }
+
+ private:
+  std::unordered_map<netsim::Asn, topo::AsType> types_;
+};
+
+/// Provider→customer pairs known to the (synthetic) CAIDA database.
+class AsRelationships {
+ public:
+  void add(netsim::Asn provider, netsim::Asn customer) {
+    known_.insert(key(provider, customer));
+  }
+  [[nodiscard]] bool knows(netsim::Asn provider, netsim::Asn customer) const {
+    return known_.contains(key(provider, customer));
+  }
+  [[nodiscard]] std::size_t entries() const { return known_.size(); }
+
+ private:
+  static std::uint64_t key(netsim::Asn p, netsim::Asn c) {
+    return (std::uint64_t{p} << 32) | c;
+  }
+  std::unordered_set<std::uint64_t> known_;
+};
+
+/// What a banner-grabbing search engine (Shodan/Censys) knows about a
+/// host. Only a minority of the ODNS population is covered (§6: 80k of
+/// 600k transparent forwarders).
+struct DeviceObservation {
+  std::vector<std::uint16_t> open_ports;
+  std::string product;  // banner-derived product string
+};
+
+class FingerprintStore {
+ public:
+  void add(util::Ipv4 addr, DeviceObservation obs) {
+    observations_[addr] = std::move(obs);
+  }
+  [[nodiscard]] const DeviceObservation* find(util::Ipv4 addr) const {
+    auto it = observations_.find(addr);
+    return it == observations_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t entries() const { return observations_.size(); }
+
+ private:
+  std::unordered_map<util::Ipv4, DeviceObservation> observations_;
+};
+
+struct SnapshotConfig {
+  std::uint64_t seed = 99;
+  double routeviews_drop = 0.001;   // paper: 99.9% of IPs mapped
+  double whois_missing = 0.002;
+  double peeringdb_coverage = 0.40; // most ASes unclassified, like reality
+  double manual_coverage = 0.70;    // manual research fills most gaps
+  double caida_coverage = 0.90;     // leaves relationships to discover
+};
+
+struct RegistrySnapshot {
+  RouteviewsTable routeviews;
+  WhoisDb whois;
+  PeeringDb peeringdb;
+  /// Manual research notes (§6 / Appendix E: 42 of the top-100 ASes
+  /// were classified by hand after PeeringDB came up empty).
+  PeeringDb manual;
+  AsRelationships caida;
+  FingerprintStore shodan;
+  /// Public-resolver project AS sets (operator-published, not noisy).
+  std::unordered_map<netsim::Asn, topo::ResolverProject> project_asns;
+
+  [[nodiscard]] std::optional<topo::ResolverProject> project_of_asn(
+      netsim::Asn asn) const {
+    auto it = project_asns.find(asn);
+    if (it == project_asns.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Convenience: IP → country via Routeviews + whois.
+  [[nodiscard]] std::optional<std::string> country_of(util::Ipv4 addr) const {
+    auto asn = routeviews.origin_of(addr);
+    if (!asn) return std::nullopt;
+    return whois.country_of(*asn);
+  }
+
+  /// Derives all four views from a built deployment.
+  static RegistrySnapshot derive(const topo::Deployment& world,
+                                 const SnapshotConfig& cfg = {});
+};
+
+}  // namespace odns::registry

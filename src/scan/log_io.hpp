@@ -1,0 +1,32 @@
+#pragma once
+// Persistence for scan artifacts: the probe log, the raw capture
+// (dumpcap-equivalent) and correlated transactions serialize to CSV so
+// post-processing can happen offline — mirroring the paper's artifact
+// pipeline (dns-scan-server produces captures; dns-measurement-analysis
+// consumes them).
+
+#include <iosfwd>
+#include <vector>
+
+#include "scan/txscanner.hpp"
+
+namespace odns::scan {
+
+void write_probes_csv(std::ostream& os, const std::vector<SentProbe>& probes);
+std::vector<SentProbe> read_probes_csv(std::istream& is);
+
+void write_capture_csv(std::ostream& os,
+                       const std::vector<RawResponse>& capture);
+std::vector<RawResponse> read_capture_csv(std::istream& is);
+
+void write_transactions_csv(std::ostream& os,
+                            const std::vector<Transaction>& txns);
+std::vector<Transaction> read_transactions_csv(std::istream& is);
+
+/// Offline correlation over persisted logs — identical join semantics
+/// to TransactionalScanner::correlate(), usable without the simulator.
+std::vector<Transaction> correlate_offline(
+    const std::vector<SentProbe>& probes,
+    const std::vector<RawResponse>& capture, util::Duration timeout);
+
+}  // namespace odns::scan

@@ -1,0 +1,118 @@
+#include "scan/txscanner.hpp"
+
+namespace odns::scan {
+
+TransactionalScanner::TransactionalScanner(netsim::Simulator& sim,
+                                           netsim::HostId host, ScanConfig cfg)
+    : sim_(&sim), host_(host), cfg_(std::move(cfg)),
+      next_port_(cfg_.port_base) {
+  sim_->bind_udp_wildcard(host_, this);
+  sim_->set_icmp_handler(host_, [this](const netsim::Packet&) {
+    ++stats_.icmp_errors;
+  });
+}
+
+std::pair<std::uint16_t, std::uint16_t> TransactionalScanner::next_tuple() {
+  const std::uint16_t port = next_port_;
+  if (next_port_ >= cfg_.port_limit) {
+    next_port_ = cfg_.port_base;
+    ++next_txid_;  // port space wrapped: move to a fresh TXID plane
+    if (next_txid_ == 0) next_txid_ = 1;
+  } else {
+    ++next_port_;
+  }
+  return {port, next_txid_};
+}
+
+void TransactionalScanner::send_probe(util::Ipv4 target) {
+  const auto [port, txid] = next_tuple();
+  const dnswire::Name qname =
+      cfg_.qname_for_target ? cfg_.qname_for_target(target) : cfg_.qname;
+
+  SentProbe probe{target, port, txid, sim_->now()};
+  tuple_to_probe_[(std::uint32_t{port} << 16) | txid] =
+      static_cast<std::uint32_t>(probes_.size());
+  probes_.push_back(probe);
+  ++stats_.probes_sent;
+  last_send_at_ = sim_->now();
+
+  netsim::SendOptions opts;
+  opts.dst = target;
+  opts.src_port = port;
+  opts.dst_port = 53;
+  opts.payload = dnswire::encode(dnswire::make_query(txid, qname, cfg_.qtype));
+  sim_->send_udp(host_, std::move(opts));
+}
+
+void TransactionalScanner::start(const std::vector<util::Ipv4>& targets) {
+  const auto gap = util::Duration::nanos(
+      static_cast<std::int64_t>(1e9 / static_cast<double>(
+                                          cfg_.probes_per_second)));
+  util::Duration at = util::Duration::nanos(0);
+  for (auto target : targets) {
+    sim_->schedule(at, [this, target]() { send_probe(target); });
+    at = at + gap;
+  }
+  last_send_at_ = sim_->now() + at;
+}
+
+void TransactionalScanner::run_to_completion() {
+  // Drain all traffic, then let the timeout window close.
+  sim_->run();
+  sim_->run_until(last_send_at_ + cfg_.timeout + util::Duration::seconds(1));
+  sim_->run();
+}
+
+void TransactionalScanner::on_datagram(const netsim::Datagram& dgram) {
+  auto parsed = dnswire::decode(*dgram.payload);
+  if (!parsed) {
+    ++stats_.parse_errors;
+    return;
+  }
+  const auto& msg = parsed.value();
+  if (!msg.header.qr) return;  // stray queries aimed at the scanner
+  ++stats_.responses_received;
+  RawResponse rec;
+  rec.src = dgram.src;
+  rec.src_port = dgram.src_port;
+  rec.dst_port = dgram.dst_port;
+  rec.txid = msg.header.id;
+  rec.at = sim_->now();
+  rec.rcode = msg.header.rcode;
+  rec.answer_addrs = msg.answer_addresses();
+  capture_.push_back(std::move(rec));
+}
+
+std::vector<Transaction> TransactionalScanner::correlate() {
+  std::vector<Transaction> out(probes_.size());
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    out[i].target = probes_[i].target;
+    out[i].sent_at = probes_[i].sent_at;
+  }
+  for (const auto& rec : capture_) {
+    const std::uint32_t key = (std::uint32_t{rec.dst_port} << 16) | rec.txid;
+    auto it = tuple_to_probe_.find(key);
+    if (it == tuple_to_probe_.end()) {
+      ++stats_.responses_unmatched;
+      continue;
+    }
+    auto& txn = out[it->second];
+    const auto& probe = probes_[it->second];
+    if (rec.at - probe.sent_at > cfg_.timeout) {
+      ++stats_.responses_late;
+      continue;
+    }
+    if (txn.answered) {
+      ++stats_.responses_duplicate;
+      continue;
+    }
+    txn.answered = true;
+    txn.response_src = rec.src;
+    txn.rtt = rec.at - probe.sent_at;
+    txn.rcode = rec.rcode;
+    txn.answer_addrs = rec.answer_addrs;
+  }
+  return out;
+}
+
+}  // namespace odns::scan

@@ -1,0 +1,127 @@
+#pragma once
+// The paper's measurement core (§4.1): an asynchronous Internet-wide
+// scanner that records the complete DNS transaction — target address,
+// client port, transaction ID — and correlates responses to requests
+// afterwards. Unique (port, TXID) tuples make the mapping unambiguous
+// even when many transparent forwarders relay to the same resolver
+// (Fig. 7); IP-based matching cannot do that.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dnswire/codec.hpp"
+#include "dnswire/message.hpp"
+#include "netsim/sim.hpp"
+
+namespace odns::scan {
+
+struct ScanConfig {
+  dnswire::Name qname;                   // static scan name (response-based)
+  dnswire::RrType qtype = dnswire::RrType::a;
+  /// When set, overrides `qname` per target — the query-based method
+  /// encodes the destination into the name (e.g. 20-0-0-1.q.zone).
+  std::function<dnswire::Name(util::Ipv4)> qname_for_target;
+  util::Duration timeout = util::Duration::seconds(20);  // paper: 20 s
+  std::uint64_t probes_per_second = 20000;
+  std::uint16_t port_base = 1024;
+  std::uint16_t port_limit = 65535;
+};
+
+struct SentProbe {
+  util::Ipv4 target;
+  std::uint16_t src_port = 0;
+  std::uint16_t txid = 0;
+  util::SimTime sent_at;
+};
+
+/// One captured datagram — the scanner's dumpcap-equivalent record.
+struct RawResponse {
+  util::Ipv4 src;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t txid = 0;
+  util::SimTime at;
+  dnswire::Rcode rcode = dnswire::Rcode::noerror;
+  std::vector<util::Ipv4> answer_addrs;
+};
+
+/// A correlated transaction: probe joined with its response (if any).
+struct Transaction {
+  util::Ipv4 target;
+  util::SimTime sent_at;
+  bool answered = false;
+  util::Ipv4 response_src;
+  util::Duration rtt;
+  dnswire::Rcode rcode = dnswire::Rcode::noerror;
+  std::vector<util::Ipv4> answer_addrs;  // A records, in answer order
+
+  /// First A record: the dynamic resolver-mirror record.
+  [[nodiscard]] std::optional<util::Ipv4> dynamic_a() const {
+    if (answer_addrs.empty()) return std::nullopt;
+    return answer_addrs.front();
+  }
+  /// Second A record: the static control record.
+  [[nodiscard]] std::optional<util::Ipv4> control_a() const {
+    if (answer_addrs.size() < 2) return std::nullopt;
+    return answer_addrs[1];
+  }
+};
+
+struct ScannerStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t responses_unmatched = 0;  // no (port, txid) probe
+  std::uint64_t responses_duplicate = 0;  // probe already answered
+  std::uint64_t responses_late = 0;       // after the timeout window
+  std::uint64_t parse_errors = 0;
+  std::uint64_t icmp_errors = 0;
+};
+
+class TransactionalScanner : public netsim::App {
+ public:
+  TransactionalScanner(netsim::Simulator& sim, netsim::HostId host,
+                       ScanConfig cfg);
+
+  /// Schedules paced probes to every target. Call sim().run() (or
+  /// run_to_completion) afterwards.
+  void start(const std::vector<util::Ipv4>& targets);
+
+  /// Runs the simulator until every probe is sent and the timeout
+  /// window after the last probe has elapsed.
+  void run_to_completion();
+
+  /// Post-processing: joins the probe log with the capture log on
+  /// (client port, TXID) and returns one transaction per probe. The
+  /// first in-window response wins; later ones count as duplicates.
+  /// Updates the unmatched/duplicate/late statistics.
+  [[nodiscard]] std::vector<Transaction> correlate();
+
+  [[nodiscard]] const std::vector<SentProbe>& probes() const { return probes_; }
+  [[nodiscard]] const std::vector<RawResponse>& capture() const {
+    return capture_;
+  }
+  [[nodiscard]] const ScannerStats& stats() const { return stats_; }
+  [[nodiscard]] util::SimTime last_send_at() const { return last_send_at_; }
+
+  void on_datagram(const netsim::Datagram& dgram) override;
+
+ private:
+  void send_probe(util::Ipv4 target);
+  std::pair<std::uint16_t, std::uint16_t> next_tuple();
+
+  netsim::Simulator* sim_;
+  netsim::HostId host_;
+  ScanConfig cfg_;
+  std::vector<SentProbe> probes_;
+  std::vector<RawResponse> capture_;
+  std::unordered_map<std::uint32_t, std::uint32_t> tuple_to_probe_;
+  ScannerStats stats_;
+  std::uint16_t next_port_;
+  std::uint16_t next_txid_ = 1;
+  util::SimTime last_send_at_;
+};
+
+}  // namespace odns::scan

@@ -1,0 +1,300 @@
+#include "topo/model.hpp"
+
+// Country profiles seeded from the paper's published numbers:
+//  * ODNS totals and Shadowserver totals for the top-20: Table 5.
+//  * Transparent-forwarder ordering and AS counts: Figure 4 labels.
+//  * tf_share anchors: §4.2 text (BRA/IND > 80%, CHN 2%, IRN ~0.5%),
+//    Table 5 deltas, and Figure 4 bar readings.
+//  * Resolver mixes: Figure 5 plus Table 4 "other" counts.
+//  * other_indirect: Table 4 "Indirect Consolidation" column.
+// Where the paper publishes no number (ranks 21-50 totals), values are
+// chosen to respect the published ordering and global marginals
+// (2.125M ODNS, ~26% transparent, top-10 countries ≈ 90% of TFs).
+
+namespace odns::topo {
+
+std::string to_string(ResolverProject p) {
+  switch (p) {
+    case ResolverProject::google: return "Google";
+    case ResolverProject::cloudflare: return "Cloudflare";
+    case ResolverProject::quad9: return "Quad9";
+    case ResolverProject::opendns: return "OpenDNS";
+    case ResolverProject::other: return "Other";
+  }
+  return "?";
+}
+
+std::string to_string(OdnsKind k) {
+  switch (k) {
+    case OdnsKind::recursive_resolver: return "Recursive Resolver";
+    case OdnsKind::recursive_forwarder: return "Recursive Forwarder";
+    case OdnsKind::transparent_forwarder: return "Transparent Forwarder";
+  }
+  return "?";
+}
+
+std::string to_string(AsType t) {
+  switch (t) {
+    case AsType::tier1: return "Tier-1";
+    case AsType::transit: return "NSP/Transit";
+    case AsType::eyeball_isp: return "Cable/DSL/ISP";
+    case AsType::hosting: return "Hosting";
+    case AsType::content: return "Content";
+    case AsType::education: return "Education";
+    case AsType::enterprise: return "Enterprise";
+    case AsType::infrastructure: return "Infrastructure";
+    case AsType::unknown: return "Unclassified";
+  }
+  return "?";
+}
+
+std::string to_string(DeviceVendor v) {
+  switch (v) {
+    case DeviceVendor::mikrotik: return "MikroTik";
+    case DeviceVendor::zyxel: return "Zyxel";
+    case DeviceVendor::huawei: return "Huawei";
+    case DeviceVendor::tplink: return "TP-Link";
+    case DeviceVendor::dlink: return "D-Link";
+    case DeviceVendor::unknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+CountryProfile make(const char* code, const char* name, bool emerging,
+                    std::uint64_t odns, std::uint64_t shadow, double tf,
+                    double rr, int ases, std::uint32_t top_asn,
+                    ResolverMix mix, double indirect, int nationals) {
+  CountryProfile p;
+  p.code = code;
+  p.name = name;
+  p.emerging = emerging;
+  p.odns_total = odns;
+  p.shadowserver_odns = shadow;
+  p.tf_share = tf;
+  p.rr_share = rr;
+  p.as_count = ases;
+  p.top_asn = top_asn;
+  p.mix = mix;
+  p.other_indirect = indirect;
+  p.national_resolvers = nationals;
+  return p;
+}
+
+std::vector<CountryProfile> build_profiles() {
+  std::vector<CountryProfile> v;
+  // Resolver mixes: {google, cloudflare, quad9, opendns, other}.
+  // ---- Top-10 by transparent forwarders (≈90% of all TFs) ----------
+  v.push_back(make("BRA", "Brazil", true, 297828, 49616, 0.806, 0.010, 1236,
+                   262462, {0.55, 0.35, 0.04, 0.04, 0.02}, 0.48, 5));
+  v.push_back(make("IND", "India", true, 102910, 33510, 0.805, 0.008, 298,
+                   3356, {0.90, 0.03, 0.004, 0.003, 0.063}, 0.48, 4));
+  v.push_back(make("TUR", "Turkey", true, 76168, 19298, 0.747, 0.006, 35,
+                   9121, {0.05, 0.02, 0.0, 0.0, 0.93}, 0.003, 1));
+  v.push_back(make("POL", "Poland", true, 43431, 29175, 0.575, 0.012, 121,
+                   5617, {0.008, 0.002, 0.0, 0.0, 0.99}, 0.014, 4));
+  v.push_back(make("ARG", "Argentina", true, 43648, 16974, 0.55, 0.010, 110,
+                   0, {0.60, 0.28, 0.02, 0.02, 0.08}, 0.10, 3));
+  v.push_back(make("USA", "United States", false, 144568, 137619, 0.152,
+                   0.050, 438, 209, {0.20, 0.10, 0.02, 0.02, 0.66}, 0.18, 8));
+  v.push_back(make("IDN", "Indonesia", true, 59972, 56319, 0.317, 0.012, 325,
+                   4622, {0.58, 0.11, 0.02, 0.02, 0.27}, 0.27, 4));
+  v.push_back(make("BGD", "Bangladesh", true, 40917, 22940, 0.415, 0.008, 118,
+                   0, {0.55, 0.35, 0.01, 0.01, 0.08}, 0.12, 3));
+  v.push_back(make("CHN", "China", true, 632428, 717706, 0.0198, 0.015, 68,
+                   4812, {0.08, 0.03, 0.0, 0.01, 0.88}, 0.009, 6));
+  v.push_back(make("MUS", "Mauritius", false, 9890, 1100, 0.91, 0.005, 4, 0,
+                   {0.70, 0.24, 0.01, 0.01, 0.04}, 0.05, 1));
+  // ---- Ranks 11-50 (Fig. 4 order) ----------------------------------
+  v.push_back(make("FRA", "France", false, 25320, 25763, 0.229, 0.030, 36,
+                   5410, {0.05, 0.03, 0.005, 0.005, 0.91}, 0.008, 6));
+  v.push_back(make("BGR", "Bulgaria", false, 18443, 16239, 0.282, 0.020, 46,
+                   0, {0.45, 0.30, 0.03, 0.02, 0.20}, 0.10, 3));
+  v.push_back(make("RUS", "Russia", true, 93498, 102368, 0.050, 0.020, 255,
+                   0, {0.40, 0.25, 0.03, 0.02, 0.30}, 0.12, 6));
+  v.push_back(make("ESP", "Spain", false, 12000, 11400, 0.35, 0.020, 70, 0,
+                   {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 3));
+  v.push_back(make("ITA", "Italy", false, 24766, 24483, 0.153, 0.030, 87,
+                   3269, {0.30, 0.17, 0.02, 0.03, 0.48}, 0.35, 5));
+  v.push_back(make("ZAF", "South Africa", true, 7330, 4700, 0.45, 0.015, 91,
+                   0, {0.50, 0.30, 0.04, 0.04, 0.12}, 0.10, 3));
+  v.push_back(make("CAN", "Canada", false, 10000, 8900, 0.30, 0.030, 93,
+                   21724, {0.14, 0.07, 0.01, 0.01, 0.77}, 0.21, 4));
+  v.push_back(make("HUN", "Hungary", false, 7100, 5300, 0.38, 0.020, 16, 0,
+                   {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 2));
+  v.push_back(make("UKR", "Ukraine", false, 20780, 25307, 0.115, 0.020, 104,
+                   0, {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 4));
+  v.push_back(make("AFG", "Afghanistan", false, 3150, 1200, 0.70, 0.008, 9, 0,
+                   {0.55, 0.30, 0.02, 0.02, 0.11}, 0.10, 1));
+  v.push_back(make("LVA", "Latvia", false, 3600, 2200, 0.55, 0.015, 13, 0,
+                   {0.50, 0.30, 0.04, 0.03, 0.13}, 0.10, 2));
+  v.push_back(make("PRY", "Paraguay", false, 3000, 1500, 0.60, 0.010, 11, 0,
+                   {0.55, 0.30, 0.03, 0.02, 0.10}, 0.10, 2));
+  v.push_back(make("PSE", "Palestine", false, 2750, 1300, 0.58, 0.010, 8, 0,
+                   {0.55, 0.30, 0.02, 0.02, 0.11}, 0.10, 1));
+  v.push_back(make("TTO", "Trinidad and Tobago", false, 1650, 250, 0.91,
+                   0.006, 3, 0, {0.60, 0.30, 0.02, 0.02, 0.06}, 0.05, 1));
+  v.push_back(make("IRQ", "Iraq", false, 3000, 1800, 0.45, 0.010, 28, 0,
+                   {0.55, 0.28, 0.03, 0.02, 0.12}, 0.10, 2));
+  v.push_back(make("CZE", "Czechia", false, 4800, 4100, 0.25, 0.025, 69, 0,
+                   {0.45, 0.30, 0.05, 0.03, 0.17}, 0.10, 3));
+  v.push_back(make("GBR", "United Kingdom", false, 6100, 5600, 0.18, 0.035,
+                   90, 0, {0.40, 0.30, 0.05, 0.05, 0.20}, 0.15, 4));
+  v.push_back(make("BLZ", "Belize", false, 1075, 120, 0.93, 0.005, 5, 0,
+                   {0.60, 0.30, 0.01, 0.01, 0.08}, 0.05, 1));
+  v.push_back(make("COD", "DR Congo", false, 1360, 500, 0.70, 0.008, 5, 0,
+                   {0.55, 0.30, 0.02, 0.02, 0.11}, 0.08, 1));
+  v.push_back(make("BDI", "Burundi", false, 980, 100, 0.92, 0.005, 2, 0,
+                   {0.60, 0.30, 0.01, 0.01, 0.08}, 0.05, 1));
+  v.push_back(make("SRB", "Serbia", false, 2125, 1500, 0.40, 0.015, 13, 0,
+                   {0.50, 0.30, 0.03, 0.03, 0.14}, 0.10, 2));
+  v.push_back(make("PHL", "Philippines", true, 2660, 2100, 0.30, 0.012, 26,
+                   0, {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 2));
+  v.push_back(make("COL", "Colombia", true, 2140, 1600, 0.35, 0.012, 29, 0,
+                   {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 2));
+  v.push_back(make("ECU", "Ecuador", false, 1560, 1000, 0.45, 0.010, 15, 0,
+                   {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 2));
+  v.push_back(make("SVK", "Slovakia", false, 2170, 1700, 0.30, 0.020, 30, 0,
+                   {0.45, 0.30, 0.05, 0.03, 0.17}, 0.10, 2));
+  v.push_back(make("THA", "Thailand", true, 19694, 20474, 0.030, 0.015, 25,
+                   0, {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 3));
+  v.push_back(make("HRV", "Croatia", false, 1100, 650, 0.50, 0.015, 8, 0,
+                   {0.50, 0.30, 0.03, 0.03, 0.14}, 0.10, 1));
+  v.push_back(make("AUS", "Australia", false, 2000, 1700, 0.25, 0.030, 54, 0,
+                   {0.40, 0.32, 0.05, 0.05, 0.18}, 0.12, 3));
+  v.push_back(make("URY", "Uruguay", false, 840, 450, 0.55, 0.012, 24, 0,
+                   {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 1));
+  v.push_back(make("HKG", "Hong Kong", false, 2100, 1900, 0.20, 0.030, 27, 0,
+                   {0.45, 0.30, 0.05, 0.04, 0.16}, 0.12, 2));
+  v.push_back(make("NLD", "Netherlands", false, 3250, 3100, 0.12, 0.040, 38,
+                   0, {0.40, 0.32, 0.06, 0.05, 0.17}, 0.12, 3));
+  v.push_back(make("ISR", "Israel", false, 1200, 1000, 0.30, 0.025, 11, 0,
+                   {0.45, 0.30, 0.05, 0.04, 0.16}, 0.10, 2));
+  v.push_back(make("PRI", "Puerto Rico", false, 508, 180, 0.65, 0.010, 11, 0,
+                   {0.55, 0.30, 0.02, 0.02, 0.11}, 0.10, 1));
+  v.push_back(make("EGY", "Egypt", true, 857, 600, 0.35, 0.012, 8, 0,
+                   {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 2));
+  v.push_back(make("CHL", "Chile", false, 1120, 900, 0.25, 0.015, 17, 0,
+                   {0.50, 0.30, 0.03, 0.03, 0.14}, 0.10, 2));
+  v.push_back(make("GTM", "Guatemala", false, 520, 280, 0.50, 0.010, 5, 0,
+                   {0.55, 0.28, 0.02, 0.02, 0.13}, 0.10, 1));
+  v.push_back(make("PAK", "Pakistan", false, 16000, 17200, 0.015, 0.010, 39,
+                   0, {0.45, 0.30, 0.03, 0.02, 0.20}, 0.10, 3));
+  v.push_back(make("MYS", "Malaysia", true, 1100, 950, 0.20, 0.020, 13, 0,
+                   {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 2));
+  v.push_back(make("IRN", "Iran", true, 36659, 33444, 0.0055, 0.012, 55, 0,
+                   {0.40, 0.28, 0.03, 0.02, 0.27}, 0.10, 4));
+  v.push_back(make("JPN", "Japan", false, 3600, 3500, 0.05, 0.040, 35, 0,
+                   {0.40, 0.30, 0.06, 0.05, 0.19}, 0.12, 3));
+  // ---- Table-5 countries outside the Fig. 4 top-50 ------------------
+  v.push_back(make("KOR", "South Korea", false, 49143, 73790, 0.003, 0.020,
+                   3, 0, {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 3));
+  v.push_back(make("TWN", "Taiwan", false, 37550, 38525, 0.004, 0.020, 3, 0,
+                   {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 3));
+  v.push_back(make("VNM", "Vietnam", false, 21407, 24266, 0.006, 0.015, 3, 0,
+                   {0.45, 0.30, 0.04, 0.03, 0.18}, 0.10, 3));
+  v.push_back(make("DEU", "Germany", false, 16243, 17788, 0.007, 0.040, 3, 0,
+                   {0.40, 0.30, 0.06, 0.05, 0.19}, 0.12, 3));
+  // ---- The fifth >90%-transparent country (outside top-50) ---------
+  v.push_back(make("NRU", "Nauru", false, 210, 15, 0.95, 0.005, 1, 0,
+                   {0.60, 0.30, 0.01, 0.01, 0.08}, 0.05, 1));
+  // ---- Mid-tier countries with ODNS presence but few transparent
+  // forwarders (fills the global 2.125M ODNS marginal) --------------
+  for (int i = 0; i < 30; ++i) {
+    const std::uint64_t odns = 2500 + static_cast<std::uint64_t>(
+        (29 - i) * 150);
+    CountryProfile p = make(
+        ("Y" + std::string(1, static_cast<char>('A' + i / 26)) +
+         std::string(1, static_cast<char>('A' + i % 26)))
+            .c_str(),
+        ("Mid Country " + std::to_string(i + 1)).c_str(), i % 4 == 0, odns,
+        static_cast<std::uint64_t>(static_cast<double>(odns) * 0.95),
+        0.015 + 0.001 * (i % 10), 0.02, 2 + i % 3, 0,
+        {0.48, 0.30, 0.04, 0.03, 0.15}, 0.10, 2);
+    v.push_back(std::move(p));
+  }
+  // ---- Long tail: ~120 small countries with a few TFs each ---------
+  for (int i = 0; i < 120; ++i) {
+    const std::uint64_t odns = 60 + static_cast<std::uint64_t>(
+        (119 - i) * 7);  // 60 .. 893, descending with rank
+    const double tf = 0.05 + 0.004 * (i % 40);
+    CountryProfile p = make(
+        ("X" + std::string(1, static_cast<char>('A' + i / 26)) +
+         std::string(1, static_cast<char>('A' + i % 26)))
+            .c_str(),
+        ("Tail Country " + std::to_string(i + 1)).c_str(), i % 3 == 0, odns,
+        static_cast<std::uint64_t>(static_cast<double>(odns) * 0.8), tf,
+        0.015, 1 + i % 4, 0, {0.50, 0.30, 0.04, 0.03, 0.13}, 0.10, 1);
+    v.push_back(std::move(p));
+  }
+  return v;
+}
+
+std::vector<CountryProfile> build_no_tf_profiles() {
+  // ~25% of countries with ODNS presence host zero transparent
+  // forwarders (Fig. 3 gray region): ~56 of ~225.
+  std::vector<CountryProfile> v;
+  for (int i = 0; i < 56; ++i) {
+    CountryProfile p = make(
+        ("Z" + std::string(1, static_cast<char>('A' + i / 26)) +
+         std::string(1, static_cast<char>('A' + i % 26)))
+            .c_str(),
+        ("No-TF Country " + std::to_string(i + 1)).c_str(), false,
+        40 + static_cast<std::uint64_t>(i) * 5,
+        40 + static_cast<std::uint64_t>(i) * 5, 0.0, 0.03, 1, 0,
+        {0.5, 0.3, 0.05, 0.05, 0.10}, 0.0, 1);
+    v.push_back(std::move(p));
+  }
+  return v;
+}
+
+}  // namespace
+
+const std::vector<CountryProfile>& country_profiles() {
+  static const std::vector<CountryProfile> profiles = build_profiles();
+  return profiles;
+}
+
+const std::vector<CountryProfile>& no_tf_country_profiles() {
+  static const std::vector<CountryProfile> profiles = build_no_tf_profiles();
+  return profiles;
+}
+
+const std::vector<ProjectBlueprint>& project_blueprints() {
+  static const std::vector<ProjectBlueprint> projects = [] {
+    std::vector<ProjectBlueprint> v;
+    using util::Ipv4;
+    using util::Prefix;
+    // PoP counts and peering breadth are the levers that reproduce the
+    // Fig. 6 ordering: Cloudflare (densest anycast) < Google < OpenDNS.
+    v.push_back(ProjectBlueprint{
+        ResolverProject::google, "Google Public DNS", 15169,
+        {Ipv4{8, 8, 8, 8}, Ipv4{8, 8, 4, 4}},
+        Prefix{Ipv4{8, 8, 0, 0}, 16}, Prefix{Ipv4{74, 125, 0, 0}, 16},
+        /*pops=*/24, /*peering_breadth=*/2, /*national_peering=*/0.25,
+        /*pop_internal_hops=*/2});
+    v.push_back(ProjectBlueprint{
+        ResolverProject::cloudflare, "Cloudflare DNS", 13335,
+        {Ipv4{1, 1, 1, 1}, Ipv4{1, 0, 0, 1}},
+        Prefix{Ipv4{1, 0, 0, 0}, 8}, Prefix{Ipv4{172, 71, 0, 0}, 16},
+        /*pops=*/56, /*peering_breadth=*/4, /*national_peering=*/0.65,
+        /*pop_internal_hops=*/1});
+    v.push_back(ProjectBlueprint{
+        ResolverProject::quad9, "Quad9", 19281,
+        {Ipv4{9, 9, 9, 9}},
+        Prefix{Ipv4{9, 9, 9, 0}, 24}, Prefix{Ipv4{149, 112, 0, 0}, 16},
+        /*pops=*/16, /*peering_breadth=*/2, /*national_peering=*/0.15,
+        /*pop_internal_hops=*/2});
+    v.push_back(ProjectBlueprint{
+        ResolverProject::opendns, "OpenDNS", 36692,
+        {Ipv4{208, 67, 222, 222}, Ipv4{208, 67, 220, 220}},
+        Prefix{Ipv4{208, 67, 216, 0}, 21}, Prefix{Ipv4{146, 112, 0, 0}, 16},
+        /*pops=*/7, /*peering_breadth=*/1, /*national_peering=*/0.02,
+        /*pop_internal_hops=*/3});
+    return v;
+  }();
+  return projects;
+}
+
+}  // namespace odns::topo

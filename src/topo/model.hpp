@@ -1,0 +1,153 @@
+#pragma once
+// Model types for the synthetic Internet: country profiles seeded with
+// the paper's published per-country marginals (Tables 4 & 5, Figures
+// 4 & 5), AS taxonomy, resolver projects, device vendors, and the
+// ground-truth records the evaluation compares against.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/ipv4.hpp"
+
+namespace odns::topo {
+
+/// The four large public resolver projects the paper tracks, plus
+/// "other" (national/ISP resolvers).
+enum class ResolverProject : std::uint8_t {
+  google,
+  cloudflare,
+  quad9,
+  opendns,
+  other,
+};
+
+std::string to_string(ResolverProject p);
+
+enum class OdnsKind : std::uint8_t {
+  recursive_resolver,
+  recursive_forwarder,
+  transparent_forwarder,
+};
+
+std::string to_string(OdnsKind k);
+
+enum class AsType : std::uint8_t {
+  tier1,
+  transit,         // regional / national transit (NSP)
+  eyeball_isp,     // cable / DSL / mobile access network
+  hosting,
+  content,
+  education,
+  enterprise,
+  infrastructure,  // roots, TLDs, measurement infra
+  unknown,
+};
+
+std::string to_string(AsType t);
+
+enum class DeviceVendor : std::uint8_t {
+  mikrotik,
+  zyxel,
+  huawei,
+  tplink,
+  dlink,
+  unknown,
+};
+
+std::string to_string(DeviceVendor v);
+
+/// /24 population style for transparent-forwarder placement (§6,
+/// Fig. 8): sparse prefixes look like individual CPE customers, full
+/// prefixes like one middlebox answering for the whole block.
+enum class PrefixStyle : std::uint8_t { sparse, medium, full };
+
+/// Per-country resolver-project mix for transparent forwarders
+/// (Fig. 5). Fractions sum to ~1.
+struct ResolverMix {
+  double google = 0.5;
+  double cloudflare = 0.3;
+  double quad9 = 0.05;
+  double opendns = 0.05;
+  double other = 0.10;
+};
+
+/// One country's ODNS deployment profile. Counts are the paper-scale
+/// (April 2021) values; the builder multiplies by the scale factor.
+struct CountryProfile {
+  std::string code;   // ISO-3166 alpha-3
+  std::string name;
+  bool emerging = false;          // starred in Fig. 4
+  std::uint64_t odns_total = 0;   // all ODNS components (Table 5 col. 3)
+  std::uint64_t shadowserver_odns = 0;  // Table 5 Shadowserver column
+  double tf_share = 0.0;          // fraction of ODNS that is transparent
+  double rr_share = 0.02;         // recursive resolver fraction
+  int as_count = 1;               // ASes hosting transparent forwarders
+  std::uint32_t top_asn = 0;      // Table 4 top ASN, when published
+  ResolverMix mix;
+  /// Of the "other"-share responses, the fraction whose A_resolver
+  /// record points into a big-4 AS (indirect consolidation, Table 4).
+  double other_indirect = 0.10;
+  /// Size of the national open-resolver pool serving the "other" share
+  /// (Turkey famously has one).
+  int national_resolvers = 3;
+  /// Mix of /24 population styles for this country's TFs
+  /// {sparse, medium, full} — weights, not fractions.
+  double style_sparse = 0.26;
+  double style_medium = 0.38;
+  double style_full = 0.36;
+
+  [[nodiscard]] std::uint64_t tf_total() const {
+    return static_cast<std::uint64_t>(static_cast<double>(odns_total) *
+                                      tf_share);
+  }
+};
+
+/// The embedded country table (top-50 of Fig. 4 + the Table-5 extras
+/// + a generated long tail; see topo/data.cpp).
+const std::vector<CountryProfile>& country_profiles();
+
+/// Countries that appear in the ODNS but host zero transparent
+/// forwarders (~25% of countries, Fig. 3 gray region).
+const std::vector<CountryProfile>& no_tf_country_profiles();
+
+/// A public resolver project's deployment blueprint.
+struct ProjectBlueprint {
+  ResolverProject project;
+  std::string name;
+  netsim::Asn asn;
+  std::vector<util::Ipv4> service_addrs;  // anycast addresses
+  util::Prefix service_prefix;            // announced anycast block
+  util::Prefix egress_prefix;             // PoP egress (A_resolver) block
+  int pops;              // scaled PoP count: more PoPs → shorter paths
+  int peering_breadth;   // how many hub ASes each PoP attaches to
+  /// Fraction of national transit ASes the project peers with directly
+  /// at IXPs — the dominant lever behind Fig. 6's path-length ordering
+  /// (Cloudflare's dense edge presence vs. OpenDNS's sparse one).
+  double national_peering = 0.0;
+  /// Router hops spent inside a PoP site (edge engineering quality).
+  int pop_internal_hops = 1;
+};
+
+const std::vector<ProjectBlueprint>& project_blueprints();
+
+/// Ground truth for one deployed ODNS component; the evaluation
+/// compares classifier output against these.
+struct GroundTruth {
+  util::Ipv4 addr;
+  OdnsKind kind = OdnsKind::transparent_forwarder;
+  std::string country;
+  netsim::Asn asn = 0;
+  netsim::HostId host = netsim::kInvalidHost;
+  /// Forwarders: the relay target (anycast service address or local
+  /// resolver); unset for recursive resolvers.
+  util::Ipv4 upstream;
+  ResolverProject project = ResolverProject::other;
+  bool chained = false;  // TF → local RF → public (indirect consolidation)
+  DeviceVendor vendor = DeviceVendor::unknown;
+  bool fingerprint_visible = false;
+  PrefixStyle prefix_style = PrefixStyle::sparse;
+};
+
+}  // namespace odns::topo

@@ -1,0 +1,57 @@
+#include "util/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace odns::util {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return std::nullopt;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, octets[i]);
+    if (ec != std::errc{} || octets[i] > 255) return std::nullopt;
+    pos = static_cast<std::size_t>(ptr - text.data());
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4{static_cast<std::uint8_t>(octets[0]),
+              static_cast<std::uint8_t>(octets[1]),
+              static_cast<std::uint8_t>(octets[2]),
+              static_cast<std::uint8_t>(octets[3])};
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  auto tail = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || ptr != tail.data() + tail.size()) return std::nullopt;
+  if (len < 0 || len > 32) return std::nullopt;
+  return Prefix{*addr, len};
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace odns::util

@@ -1,0 +1,105 @@
+#pragma once
+// IPv4 address and prefix value types used throughout the simulator and
+// the measurement pipeline. Addresses are stored host-byte-order so that
+// arithmetic (prefix math, sequential allocation) stays natural.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace odns::util {
+
+/// An IPv4 address. Value type, totally ordered, hashable.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : bits_(host_order) {}
+  /// Builds an address from its four dotted-quad octets.
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses "a.b.c.d". Returns nullopt on malformed input (leading
+  /// zeros are accepted; out-of-range octets are not).
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return bits_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return bits_ == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  /// Next address in numeric order; wraps at 255.255.255.255.
+  [[nodiscard]] constexpr Ipv4 next() const { return Ipv4{bits_ + 1}; }
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR prefix (address + mask length). The address is canonicalised
+/// to the network base on construction.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4 base, int len)
+      : len_(len), base_(Ipv4{base.value() & mask_for(len)}) {}
+
+  /// Parses "a.b.c.d/len".
+  static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4 base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return len_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const { return mask_for(len_); }
+
+  [[nodiscard]] constexpr bool contains(Ipv4 a) const {
+    return (a.value() & mask()) == base_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.len_ >= len_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (2^(32-len)); 0 means 2^32.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  /// The covering /24 of an address — the grouping unit the paper uses
+  /// for forwarder-density analysis and sensor rate limiting.
+  static constexpr Prefix covering24(Ipv4 a) { return Prefix{a, 24}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int len) {
+    return len == 0 ? 0u : ~0u << (32 - len);
+  }
+  int len_ = 0;
+  Ipv4 base_{};
+};
+
+}  // namespace odns::util
+
+template <>
+struct std::hash<odns::util::Ipv4> {
+  std::size_t operator()(odns::util::Ipv4 a) const noexcept {
+    // Fibonacci hashing spreads sequential allocations across buckets.
+    return static_cast<std::size_t>(a.value()) * 0x9E3779B97F4A7C15ull;
+  }
+};
+
+template <>
+struct std::hash<odns::util::Prefix> {
+  std::size_t operator()(const odns::util::Prefix& p) const noexcept {
+    return (static_cast<std::size_t>(p.base().value()) << 6) ^
+           static_cast<std::size_t>(p.length());
+  }
+};

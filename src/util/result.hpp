@@ -1,0 +1,46 @@
+#pragma once
+// Minimal result type for fallible operations where exceptions would be
+// the wrong tool (hot parsing paths). Modeled after std::expected, which
+// is not yet available on the toolchain's C++20 mode.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace odns::util {
+
+template <typename T, typename E>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+}  // namespace odns::util

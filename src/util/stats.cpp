@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odns::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const bool last_of_value = (i + 1 == xs.size()) || (xs[i + 1] != xs[i]);
+    if (last_of_value) {
+      out.push_back({xs[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return out;
+}
+
+std::vector<CdfPoint> rank_cdf(std::vector<std::uint64_t> counts_desc) {
+  std::sort(counts_desc.begin(), counts_desc.end(), std::greater<>());
+  std::uint64_t total = 0;
+  for (auto c : counts_desc) total += c;
+  std::vector<CdfPoint> out;
+  if (total == 0) return out;
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < counts_desc.size(); ++i) {
+    run += counts_desc[i];
+    out.push_back({static_cast<double>(i + 1),
+                   static_cast<double>(run) / static_cast<double>(total)});
+  }
+  return out;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+void Histogram::add(std::int64_t bucket, std::uint64_t weight) {
+  buckets_[bucket] += weight;
+  total_ += weight;
+}
+
+double Histogram::cumulative_at(std::int64_t limit) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t run = 0;
+  for (const auto& [bucket, count] : buckets_) {
+    if (bucket > limit) break;
+    run += count;
+  }
+  return static_cast<double>(run) / static_cast<double>(total_);
+}
+
+std::string render_cdf_ascii(const std::vector<CdfPoint>& cdf, int width,
+                             int height) {
+  if (cdf.empty() || width <= 0 || height <= 0) return {};
+  const double xmax = cdf.back().x;
+  const double xmin = cdf.front().x;
+  const double span = xmax > xmin ? xmax - xmin : 1.0;
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& pt : cdf) {
+    int col = static_cast<int>((pt.x - xmin) / span * (width - 1));
+    int row = static_cast<int>((1.0 - pt.cum) * (height - 1));
+    col = std::clamp(col, 0, width - 1);
+    row = std::clamp(row, 0, height - 1);
+    rows[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '*';
+  }
+  std::string out;
+  for (auto& r : rows) {
+    out += "  |";
+    out += r;
+    out += '\n';
+  }
+  out += "  +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace odns::util

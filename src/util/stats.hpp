@@ -1,0 +1,70 @@
+#pragma once
+// Small statistics helpers shared by the analysis pipeline and the
+// bench harness: empirical CDFs, percentiles, running means.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace odns::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// p in [0,1]; nearest-rank percentile over a copy of the data.
+double percentile(std::vector<double> xs, double p);
+
+/// One (x, F(x)) step of an empirical CDF.
+struct CdfPoint {
+  double x = 0.0;
+  double cum = 0.0;  // cumulative fraction in (0, 1]
+};
+
+/// Builds the empirical CDF of the sample (sorted, deduplicated steps).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// CDF over pre-aggregated (value, count) pairs, e.g. per-country
+/// forwarder totals, ordered descending by count (the paper's Fig. 3
+/// x-axis is a country rank, not a value).
+std::vector<CdfPoint> rank_cdf(std::vector<std::uint64_t> counts_desc);
+
+/// Streaming mean/min/max accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Integer histogram keyed by bucket value.
+class Histogram {
+ public:
+  void add(std::int64_t bucket, std::uint64_t weight = 1);
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  /// Fraction of mass at buckets <= limit.
+  [[nodiscard]] double cumulative_at(std::int64_t limit) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Renders a sparse ASCII sparkline of a CDF for terminal reports.
+std::string render_cdf_ascii(const std::vector<CdfPoint>& cdf, int width,
+                             int height);
+
+}  // namespace odns::util

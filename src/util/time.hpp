@@ -1,0 +1,55 @@
+#pragma once
+// Simulated time. A strong typedef over integer nanoseconds keeps event
+// ordering exact (no floating-point drift) and comparisons cheap.
+
+#include <cstdint>
+#include <string>
+
+namespace odns::util {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t n) { return Duration{n * 1'000}; }
+  static constexpr Duration millis(std::int64_t n) { return Duration{n * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr double as_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime origin() { return SimTime{}; }
+  static constexpr SimTime from_nanos(std::int64_t n) { return SimTime{n}; }
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.ns_ + d.count_nanos()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration::nanos(a.ns_ - b.ns_);
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace odns::util

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "classify/analysis.hpp"
+#include "classify/classify.hpp"
+
+namespace odns::classify {
+namespace {
+
+using scan::Transaction;
+using util::Ipv4;
+
+constexpr Ipv4 kControl{198, 51, 100, 200};
+constexpr Ipv4 kTarget{20, 0, 0, 1};
+constexpr Ipv4 kResolver{8, 8, 8, 8};
+
+ClassifyConfig strict_cfg() {
+  ClassifyConfig cfg;
+  cfg.control_addr = kControl;
+  cfg.strict_two_records = true;
+  return cfg;
+}
+
+Transaction answered(Ipv4 target, Ipv4 response_src,
+                     std::vector<Ipv4> answers) {
+  Transaction txn;
+  txn.target = target;
+  txn.answered = true;
+  txn.response_src = response_src;
+  txn.answer_addrs = std::move(answers);
+  return txn;
+}
+
+// ---------------------------------------------------------------------
+// §4.1 rules, exhaustively
+// ---------------------------------------------------------------------
+
+TEST(ClassifyRules, TransparentForwarderWhenSourcesDiffer) {
+  const auto txn = answered(kTarget, kResolver, {kResolver, kControl});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::transparent_forwarder);
+}
+
+TEST(ClassifyRules, RecursiveResolverWhenMirrorMatches) {
+  const auto txn = answered(kTarget, kTarget, {kTarget, kControl});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::recursive_resolver);
+}
+
+TEST(ClassifyRules, RecursiveForwarderWhenMirrorDiffers) {
+  const auto txn = answered(kTarget, kTarget, {kResolver, kControl});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::recursive_forwarder);
+}
+
+TEST(ClassifyRules, UnansweredIsUnresponsive) {
+  Transaction txn;
+  txn.target = kTarget;
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::unresponsive);
+}
+
+TEST(ClassifyRules, RefusedIsUnresponsive) {
+  auto txn = answered(kTarget, kTarget, {});
+  txn.rcode = dnswire::Rcode::refused;
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::unresponsive);
+}
+
+TEST(ClassifyRules, StrictRejectsMissingControlRecord) {
+  const auto txn = answered(kTarget, kTarget, {kResolver});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::invalid);
+}
+
+TEST(ClassifyRules, StrictRejectsAlteredControlRecord) {
+  const auto txn =
+      answered(kTarget, kTarget, {kResolver, Ipv4{203, 0, 113, 99}});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), Klass::invalid);
+}
+
+TEST(ClassifyRules, RelaxedAcceptsSingleRecord) {
+  ClassifyConfig relaxed = strict_cfg();
+  relaxed.strict_two_records = false;
+  const auto txn = answered(kTarget, kTarget, {kResolver});
+  EXPECT_EQ(classify_one(txn, relaxed), Klass::recursive_forwarder);
+}
+
+TEST(ClassifyRules, RelaxedStillRequiresAnyAnswer) {
+  ClassifyConfig relaxed = strict_cfg();
+  relaxed.strict_two_records = false;
+  const auto txn = answered(kTarget, kTarget, {});
+  EXPECT_EQ(classify_one(txn, relaxed), Klass::unresponsive);
+}
+
+/// Property sweep: the three §4.1 outcomes partition all valid
+/// two-record transactions.
+struct RuleCase {
+  Ipv4 response_src;
+  Ipv4 mirror;
+  Klass expected;
+};
+
+class RulePartition : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(RulePartition, MatchesPaperRules) {
+  const auto& c = GetParam();
+  const auto txn = answered(kTarget, c.response_src, {c.mirror, kControl});
+  EXPECT_EQ(classify_one(txn, strict_cfg()), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partition, RulePartition,
+    ::testing::Values(
+        // target != response → transparent, regardless of mirror
+        RuleCase{kResolver, kResolver, Klass::transparent_forwarder},
+        RuleCase{kResolver, kTarget, Klass::transparent_forwarder},
+        RuleCase{Ipv4{20, 0, 9, 9}, kControl, Klass::transparent_forwarder},
+        // target == response, mirror == response → recursive resolver
+        RuleCase{kTarget, kTarget, Klass::recursive_resolver},
+        // target == response, mirror != response → recursive forwarder
+        RuleCase{kTarget, kResolver, Klass::recursive_forwarder},
+        RuleCase{kTarget, Ipv4{9, 9, 9, 9}, Klass::recursive_forwarder}));
+
+// ---------------------------------------------------------------------
+// Project attribution
+// ---------------------------------------------------------------------
+
+TEST(ProjectAttribution, KnownServiceAddresses) {
+  EXPECT_EQ(project_of_service_addr(Ipv4{8, 8, 8, 8}),
+            topo::ResolverProject::google);
+  EXPECT_EQ(project_of_service_addr(Ipv4{8, 8, 4, 4}),
+            topo::ResolverProject::google);
+  EXPECT_EQ(project_of_service_addr(Ipv4{1, 1, 1, 1}),
+            topo::ResolverProject::cloudflare);
+  EXPECT_EQ(project_of_service_addr(Ipv4{9, 9, 9, 9}),
+            topo::ResolverProject::quad9);
+  EXPECT_EQ(project_of_service_addr(Ipv4{208, 67, 222, 222}),
+            topo::ResolverProject::opendns);
+  EXPECT_FALSE(project_of_service_addr(Ipv4{195, 175, 39, 69}).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Census aggregation over a synthetic registry
+// ---------------------------------------------------------------------
+
+registry::RegistrySnapshot tiny_registry() {
+  registry::RegistrySnapshot snap;
+  snap.routeviews.add(util::Prefix{Ipv4{20, 0, 0, 0}, 16}, 64512);
+  snap.routeviews.add(util::Prefix{Ipv4{20, 1, 0, 0}, 16}, 64513);
+  snap.routeviews.add(util::Prefix{Ipv4{74, 125, 0, 0}, 16}, 15169);
+  snap.routeviews.add(util::Prefix{Ipv4{195, 175, 39, 0}, 24}, 9121);
+  snap.whois.add(64512, "BRA");
+  snap.whois.add(64513, "TUR");
+  snap.whois.add(9121, "TUR");
+  snap.project_asns[15169] = topo::ResolverProject::google;
+  return snap;
+}
+
+std::vector<Classified> classify_txns(std::vector<Transaction> txns) {
+  return classify_all(txns, strict_cfg());
+}
+
+TEST(CensusAnalysis, AggregatesPerCountry) {
+  // BRA: one TF via Google; TUR: one TF via a national resolver whose
+  // mirror record maps into Google's AS (indirect consolidation).
+  const Ipv4 tur_tf{20, 1, 0, 7};
+  const Ipv4 tur_resolver{195, 175, 39, 69};
+  auto census = analyze(
+      classify_txns({
+          answered(kTarget, Ipv4{8, 8, 8, 8},
+                   {Ipv4{74, 125, 0, 10}, kControl}),       // BRA TF → Google
+          answered(tur_tf, tur_resolver,
+                   {Ipv4{74, 125, 0, 11}, kControl}),       // TUR TF → other
+          answered(Ipv4{20, 0, 0, 2}, Ipv4{20, 0, 0, 2},
+                   {Ipv4{20, 0, 0, 2}, kControl}),          // BRA RR
+      }),
+      tiny_registry());
+
+  EXPECT_EQ(census.tf, 2u);
+  EXPECT_EQ(census.rr, 1u);
+  EXPECT_EQ(census.odns_total(), 3u);
+  ASSERT_TRUE(census.by_country.contains("BRA"));
+  ASSERT_TRUE(census.by_country.contains("TUR"));
+  const auto& bra = census.by_country.at("BRA");
+  EXPECT_EQ(bra.tf, 1u);
+  EXPECT_EQ(bra.rr, 1u);
+  EXPECT_EQ(bra.tf_by_project[project_index(topo::ResolverProject::google)],
+            1u);
+  const auto& tur = census.by_country.at("TUR");
+  EXPECT_EQ(tur.tf, 1u);
+  EXPECT_EQ(tur.tf_by_project[project_index(topo::ResolverProject::other)],
+            1u);
+  EXPECT_EQ(tur.other_indirect, 1u);  // mirror in Google AS
+  ASSERT_TRUE(tur.top_other_asn().has_value());
+  EXPECT_EQ(*tur.top_other_asn(), 9121u);
+}
+
+TEST(CensusAnalysis, PrefixDensityFractions) {
+  std::vector<Transaction> txns;
+  // 4 TFs in one /24 (dense-ish) + 1 lone TF in another.
+  for (int i = 1; i <= 4; ++i) {
+    txns.push_back(answered(Ipv4{20, 0, 0, static_cast<std::uint8_t>(i)},
+                            Ipv4{8, 8, 8, 8},
+                            {Ipv4{74, 125, 0, 10}, kControl}));
+  }
+  txns.push_back(answered(Ipv4{20, 0, 7, 1}, Ipv4{8, 8, 8, 8},
+                          {Ipv4{74, 125, 0, 10}, kControl}));
+  const auto census = analyze(classify_txns(std::move(txns)), tiny_registry());
+  EXPECT_EQ(census.tf_per_24.size(), 2u);
+  EXPECT_DOUBLE_EQ(census.tf_fraction_with_density_at_most(1), 0.2);
+  EXPECT_DOUBLE_EQ(census.tf_fraction_with_density_at_most(4), 1.0);
+  EXPECT_DOUBLE_EQ(census.tf_fraction_with_density_at_least(4), 0.8);
+}
+
+TEST(CensusAnalysis, UnmappedAddressesCounted) {
+  auto census = analyze(
+      classify_txns({answered(Ipv4{123, 45, 67, 89}, Ipv4{123, 45, 67, 89},
+                              {Ipv4{123, 45, 67, 89}, kControl})}),
+      tiny_registry());
+  EXPECT_EQ(census.rr, 1u);
+  EXPECT_EQ(census.unmapped_country, 1u);
+  EXPECT_TRUE(census.by_country.empty());
+}
+
+TEST(CensusAnalysis, InvalidExcludedFromCountryComposition) {
+  auto census = analyze(
+      classify_txns({answered(kTarget, kTarget, {kTarget})}),  // one record
+      tiny_registry());
+  EXPECT_EQ(census.invalid, 1u);
+  EXPECT_EQ(census.odns_total(), 0u);
+  EXPECT_TRUE(census.by_country.empty());
+}
+
+TEST(CensusAnalysis, ResolverFanOutTracked) {
+  std::vector<Transaction> txns;
+  for (int i = 1; i <= 3; ++i) {
+    txns.push_back(answered(Ipv4{20, 0, 1, static_cast<std::uint8_t>(i)},
+                            Ipv4{8, 8, 8, 8},
+                            {Ipv4{74, 125, 0, 10}, kControl}));
+  }
+  const auto census = analyze(classify_txns(std::move(txns)), tiny_registry());
+  ASSERT_TRUE(census.tf_responses_by_source.contains(Ipv4{8, 8, 8, 8}));
+  EXPECT_EQ(census.tf_responses_by_source.at(Ipv4{8, 8, 8, 8}), 3u);
+}
+
+TEST(CensusAnalysis, TopAsesOrderedByTfCount) {
+  std::vector<Transaction> txns;
+  for (int i = 1; i <= 3; ++i) {
+    txns.push_back(answered(Ipv4{20, 0, 0, static_cast<std::uint8_t>(i)},
+                            kResolver, {Ipv4{74, 125, 0, 10}, kControl}));
+  }
+  txns.push_back(answered(Ipv4{20, 1, 0, 1}, kResolver,
+                          {Ipv4{74, 125, 0, 10}, kControl}));
+  const auto census = analyze(classify_txns(std::move(txns)), tiny_registry());
+  const auto top = census.top_tf_ases(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 64512u);
+  EXPECT_EQ(top[0].second, 3u);
+}
+
+}  // namespace
+}  // namespace odns::classify

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/sim.hpp"
+
+namespace odns::netsim {
+namespace {
+
+using util::Duration;
+using util::Ipv4;
+using util::Prefix;
+using util::SimTime;
+
+// ---------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(SimTime::from_nanos(30), [&] { order.push_back(3); });
+  q.schedule_at(SimTime::from_nanos(10), [&] { order.push_back(1); });
+  q.schedule_at(SimTime::from_nanos(20), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(SimTime::from_nanos(100), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(SimTime::from_nanos(100), [&] {
+    q.schedule_at(SimTime::from_nanos(50), [&] { ran = true; });
+  });
+  q.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now().nanos(), 100);
+}
+
+TEST(EventQueueTest, RunRespectsDeadline) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(SimTime::from_nanos(10), [&] { ++count; });
+  q.schedule_at(SimTime::from_nanos(1000), [&] { ++count; });
+  q.run(SimTime::from_nanos(100));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.now(), SimTime::from_nanos(100));
+  q.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      q.schedule_at(q.now() + Duration::nanos(1), recurse);
+    }
+  };
+  q.schedule_at(SimTime::origin(), recurse);
+  q.run();
+  EXPECT_EQ(depth, 10);
+}
+
+// ---------------------------------------------------------------------
+// Network / routing fixture
+// ---------------------------------------------------------------------
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  // A -- B -- C chain plus D hanging off B.
+  void SetUp() override {
+    auto add = [&](Asn asn, int hops, bool sav = true) {
+      AsConfig cfg;
+      cfg.asn = asn;
+      cfg.internal_hops = hops;
+      cfg.source_address_validation = sav;
+      net().add_as(cfg);
+    };
+    add(1, 1);
+    add(2, 2);
+    add(3, 1);
+    add(4, 3, /*sav=*/false);
+    net().link(1, 2);
+    net().link(2, 3);
+    net().link(2, 4);
+    net().announce(1, Prefix{Ipv4{10, 1, 0, 0}, 16});
+    net().announce(3, Prefix{Ipv4{10, 3, 0, 0}, 16});
+    net().announce(4, Prefix{Ipv4{10, 4, 0, 0}, 16});
+    a_ = net().add_host(1, {Ipv4{10, 1, 0, 1}});
+    c_ = net().add_host(3, {Ipv4{10, 3, 0, 1}});
+    d_ = net().add_host(4, {Ipv4{10, 4, 0, 1}});
+  }
+
+  Network& net() { return sim_.net(); }
+
+  Simulator sim_;
+  HostId a_ = kInvalidHost;
+  HostId c_ = kInvalidHost;
+  HostId d_ = kInvalidHost;
+};
+
+TEST_F(NetworkFixture, AsDistance) {
+  EXPECT_EQ(net().as_distance(1, 1), 0);
+  EXPECT_EQ(net().as_distance(1, 2), 1);
+  EXPECT_EQ(net().as_distance(1, 3), 2);
+  EXPECT_EQ(net().as_distance(1, 4), 2);
+  EXPECT_EQ(net().as_distance(1, 999), -1);
+}
+
+TEST_F(NetworkFixture, RouteConcatenatesInternalHops) {
+  const auto route = net().route(a_, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(route.has_value());
+  // AS1 (1 hop) + AS2 (2 hops) + AS3 (1 hop) = 4 router hops.
+  EXPECT_EQ(route->router_hops.size(), 4u);
+  EXPECT_EQ(route->as_path, (std::vector<Asn>{1, 2, 3}));
+  EXPECT_EQ(route->dst_host, c_);
+}
+
+TEST_F(NetworkFixture, RouterHopsBelongToPathAses) {
+  const auto route = net().route(a_, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(net().router_owner(route->router_hops[0]), Asn{1});
+  EXPECT_EQ(net().router_owner(route->router_hops[1]), Asn{2});
+  EXPECT_EQ(net().router_owner(route->router_hops[2]), Asn{2});
+  EXPECT_EQ(net().router_owner(route->router_hops[3]), Asn{3});
+}
+
+TEST_F(NetworkFixture, NoRouteToUnknownAddress) {
+  EXPECT_FALSE(net().route(a_, Ipv4{172, 16, 0, 1}).has_value());
+}
+
+TEST_F(NetworkFixture, SourceLegitimacyFollowsAnnouncements) {
+  EXPECT_TRUE(net().source_is_legitimate(1, Ipv4{10, 1, 2, 3}));
+  EXPECT_FALSE(net().source_is_legitimate(1, Ipv4{10, 3, 0, 1}));
+}
+
+TEST_F(NetworkFixture, AnycastPicksNearestMember) {
+  // Members in AS3 (2 hops from AS1) and AS4 (2 hops) — then add a
+  // member in AS2 (1 hop) and expect it to win.
+  const Ipv4 anycast{9, 9, 9, 9};
+  net().announce(3, Prefix{anycast, 24});
+  net().announce(4, Prefix{anycast, 24});
+  const auto m3 = net().add_host(3, {Ipv4{10, 3, 0, 9}});
+  const auto m4 = net().add_host(4, {Ipv4{10, 4, 0, 9}});
+  net().join_anycast(anycast, m3);
+  net().join_anycast(anycast, m4);
+  EXPECT_EQ(net().resolve_destination(anycast, 1),
+            m3);  // tie: first member wins deterministically
+  net().announce(2, Prefix{anycast, 24});
+  const auto m2 = net().add_host(2, {Ipv4{10, 3, 0, 10}});
+  net().join_anycast(anycast, m2);
+  EXPECT_EQ(net().resolve_destination(anycast, 1), m2);
+}
+
+TEST_F(NetworkFixture, DuplicateAddressThrows) {
+  EXPECT_THROW(net().add_host(1, {Ipv4{10, 1, 0, 1}}), std::invalid_argument);
+}
+
+TEST_F(NetworkFixture, DuplicateAsnThrows) {
+  AsConfig cfg;
+  cfg.asn = 1;
+  EXPECT_THROW(net().add_as(cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Simulator behaviour
+// ---------------------------------------------------------------------
+
+class EchoApp : public App {
+ public:
+  explicit EchoApp(Simulator& sim, HostId host) : sim_(&sim), host_(host) {}
+  void on_datagram(const Datagram& d) override {
+    received.push_back(d.src);
+    ttls.push_back(d.ttl);
+    SendOptions opts;
+    opts.dst = d.src;
+    opts.src_port = d.dst_port;
+    opts.dst_port = d.src_port;
+    opts.payload = *d.payload;
+    sim_->send_udp(host_, std::move(opts));
+  }
+  std::vector<Ipv4> received;
+  std::vector<int> ttls;
+
+ private:
+  Simulator* sim_;
+  HostId host_;
+};
+
+class SinkApp : public App {
+ public:
+  void on_datagram(const Datagram& d) override {
+    received.push_back(d.src);
+    ttls.push_back(d.ttl);
+  }
+  std::vector<Ipv4> received;
+  std::vector<int> ttls;
+};
+
+TEST_F(NetworkFixture, DeliversAndEchoes) {
+  EchoApp echo(sim_, c_);
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &echo);
+  sim_.bind_udp_wildcard(a_, &sink);
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.src_port = 1234;
+  opts.dst_port = 53;
+  opts.payload = {1, 2, 3};
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(echo.received.size(), 1u);
+  EXPECT_EQ(echo.received[0], (Ipv4{10, 1, 0, 1}));
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], (Ipv4{10, 3, 0, 1}));
+  EXPECT_EQ(sim_.counters().delivered, 2u);
+}
+
+TEST_F(NetworkFixture, TtlDecrementsAcrossRouters) {
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.dst_port = 53;
+  opts.ttl = 64;
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(sink.ttls.size(), 1u);
+  EXPECT_EQ(sink.ttls[0], 60);  // 4 router hops consumed
+}
+
+TEST_F(NetworkFixture, TtlExpiryGeneratesIcmpFromExpiringRouter) {
+  std::vector<Packet> icmp;
+  sim_.set_icmp_handler(a_, [&](const Packet& p) { icmp.push_back(p); });
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.src_port = 777;
+  opts.dst_port = 53;
+  opts.ttl = 2;  // expires at the second router (inside AS2)
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(icmp.size(), 1u);
+  EXPECT_EQ(icmp[0].icmp_type, IcmpType::ttl_exceeded);
+  EXPECT_EQ(net().router_owner(icmp[0].src), Asn{2});
+  EXPECT_EQ(icmp[0].icmp_quote.orig_src_port, 777);
+  EXPECT_EQ(sim_.counters().ttl_expired, 1u);
+}
+
+TEST_F(NetworkFixture, UnboundPortTriggersPortUnreachable) {
+  std::vector<Packet> icmp;
+  sim_.set_icmp_handler(a_, [&](const Packet& p) { icmp.push_back(p); });
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.dst_port = 9999;
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(icmp.size(), 1u);
+  EXPECT_EQ(icmp[0].icmp_type, IcmpType::port_unreachable);
+  EXPECT_EQ(icmp[0].src, (Ipv4{10, 3, 0, 1}));
+}
+
+TEST_F(NetworkFixture, SavDropsSpoofedTraffic) {
+  // AS1 validates sources: spoofing from host A must be dropped.
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.dst_port = 53;
+  opts.spoof_src = Ipv4{10, 4, 0, 1};
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(sim_.counters().dropped_sav, 1u);
+}
+
+TEST_F(NetworkFixture, SavFreeNetworkAllowsSpoofing) {
+  // AS4 does not validate: host D can spoof host A's address.
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.dst_port = 53;
+  opts.spoof_src = Ipv4{10, 1, 0, 1};
+  sim_.send_udp(d_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], (Ipv4{10, 1, 0, 1}));
+}
+
+TEST_F(NetworkFixture, RedirectRelaysWithSourcePreserved) {
+  // Install a transparent redirect on D (SAV-free AS): DNS to D goes to
+  // C; C must see A's address as the source.
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  sim_.add_port_redirect(d_, 53, Ipv4{10, 3, 0, 1});
+  SendOptions opts;
+  opts.dst = Ipv4{10, 4, 0, 1};
+  opts.src_port = 555;
+  opts.dst_port = 53;
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0], (Ipv4{10, 1, 0, 1}));  // spoof preserved
+  EXPECT_EQ(sim_.redirect_relays(d_), 1u);
+  EXPECT_EQ(sim_.counters().redirected, 1u);
+}
+
+TEST_F(NetworkFixture, RedirectDecrementsTtlLikeARouter) {
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  sim_.add_port_redirect(d_, 53, Ipv4{10, 3, 0, 1});
+  SendOptions opts;
+  opts.dst = Ipv4{10, 4, 0, 1};
+  opts.dst_port = 53;
+  opts.ttl = 64;
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(sink.ttls.size(), 1u);
+  // a→d: AS1(1)+AS2(2)+AS4(3)=6 routers, device itself 1,
+  // d→c: AS4(3)+AS2(2)+AS3(1)=6 routers → 64-13=51.
+  EXPECT_EQ(sink.ttls[0], 51);
+}
+
+TEST_F(NetworkFixture, RedirectAnswersTtlExceededWhenExpiring) {
+  // TTL dies exactly on the device: its own stack answers and nothing
+  // is forwarded — the DNSRoute++ pivot behaviour.
+  std::vector<Packet> icmp;
+  sim_.set_icmp_handler(a_, [&](const Packet& p) { icmp.push_back(p); });
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  sim_.add_port_redirect(d_, 53, Ipv4{10, 3, 0, 1});
+  SendOptions opts;
+  opts.dst = Ipv4{10, 4, 0, 1};
+  opts.dst_port = 53;
+  opts.ttl = 7;  // 6 routers + the device
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(icmp.size(), 1u);
+  EXPECT_EQ(icmp[0].src, (Ipv4{10, 4, 0, 1}));  // the device, not a router
+  EXPECT_TRUE(sink.received.empty());
+}
+
+TEST_F(NetworkFixture, SavBlocksTransparentRelayInValidatingAs) {
+  // The same redirect installed in AS1 (SAV on) leaks nothing: the
+  // spoofed relay is dropped at egress. This is why deployed
+  // transparent forwarders imply missing SAV.
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  const auto a2 = net().add_host(1, {Ipv4{10, 1, 0, 2}});
+  sim_.add_port_redirect(a2, 53, Ipv4{10, 3, 0, 1});
+  SendOptions opts;
+  opts.dst = Ipv4{10, 1, 0, 2};
+  opts.dst_port = 53;
+  sim_.send_udp(d_, std::move(opts));
+  sim_.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(sim_.counters().dropped_sav, 1u);
+}
+
+TEST(SimulatorLoss, LossRateDropsRoughlyProportionally) {
+  SimConfig cfg;
+  cfg.loss_rate = 0.3;
+  cfg.seed = 9;
+  Simulator sim(cfg);
+  AsConfig ac;
+  ac.asn = 1;
+  ac.internal_hops = 1;
+  sim.net().add_as(ac);
+  ac.asn = 2;
+  sim.net().add_as(ac);
+  sim.net().link(1, 2);
+  sim.net().announce(1, Prefix{Ipv4{10, 1, 0, 0}, 24});
+  sim.net().announce(2, Prefix{Ipv4{10, 2, 0, 0}, 24});
+  const auto a = sim.net().add_host(1, {Ipv4{10, 1, 0, 1}});
+  const auto b = sim.net().add_host(2, {Ipv4{10, 2, 0, 1}});
+  SinkApp sink;
+  sim.bind_udp(b, 53, &sink);
+  for (int i = 0; i < 1000; ++i) {
+    SendOptions opts;
+    opts.dst = Ipv4{10, 2, 0, 1};
+    opts.dst_port = 53;
+    sim.send_udp(a, std::move(opts));
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(sink.received.size()), 700.0, 60.0);
+  EXPECT_EQ(sim.counters().dropped_loss + sink.received.size(), 1000u);
+}
+
+TEST_F(NetworkFixture, TapObservesEvents) {
+  std::vector<TapEvent> events;
+  sim_.add_tap([&](TapEvent ev, const Packet&) { events.push_back(ev); });
+  SinkApp sink;
+  sim_.bind_udp(c_, 53, &sink);
+  SendOptions opts;
+  opts.dst = Ipv4{10, 3, 0, 1};
+  opts.dst_port = 53;
+  sim_.send_udp(a_, std::move(opts));
+  sim_.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], TapEvent::sent);
+  EXPECT_EQ(events[1], TapEvent::delivered);
+}
+
+}  // namespace
+}  // namespace odns::netsim

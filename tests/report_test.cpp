@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace odns::core::report {
+namespace {
+
+using classify::Census;
+using classify::CountryReport;
+using util::Ipv4;
+
+/// Builds a census with two hand-crafted countries.
+Census sample_census() {
+  Census census;
+  census.rr = 10;
+  census.rf = 70;
+  census.tf = 20;
+
+  CountryReport bra;
+  bra.code = "BRA";
+  bra.rr = 2;
+  bra.rf = 3;
+  bra.tf = 15;
+  bra.ases_with_tf = 4;
+  bra.tf_by_project[classify::project_index(topo::ResolverProject::google)] =
+      10;
+  bra.tf_by_project[classify::project_index(
+      topo::ResolverProject::cloudflare)] = 5;
+  census.by_country["BRA"] = bra;
+
+  CountryReport tur;
+  tur.code = "TUR";
+  tur.rr = 1;
+  tur.rf = 4;
+  tur.tf = 5;
+  tur.ases_with_tf = 1;
+  tur.tf_by_project[classify::project_index(topo::ResolverProject::other)] =
+      5;
+  tur.other_response_asns[9121] = 5;
+  tur.other_mapped = 5;
+  tur.other_indirect = 1;
+  census.by_country["TUR"] = tur;
+
+  census.tf_per_24[Ipv4{20, 0, 0, 0}.value()] = 254;
+  census.tf_per_24[Ipv4{20, 0, 1, 0}.value()] = 3;
+  census.tf_by_asn[100] = 15;
+  census.tf_by_asn[9121] = 5;
+  return census;
+}
+
+TEST(ReportTest, Table1SharesSumToWhole) {
+  const auto t = table1_composition(sample_census());
+  const auto text = t.to_string();
+  EXPECT_NE(text.find("Recursive Resolvers"), std::string::npos);
+  EXPECT_NE(text.find("10.0%"), std::string::npos);   // 10/100
+  EXPECT_NE(text.find("70.0%"), std::string::npos);
+  EXPECT_NE(text.find("20.0%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 4u);
+}
+
+TEST(ReportTest, Table4RanksByAbsoluteOtherShare) {
+  const auto t = table4_other_share(sample_census(), 10);
+  const auto csv = t.to_csv();
+  // TUR is the only country with "other" TFs, so it is row one, with
+  // its top ASN and 1/5 indirect.
+  auto first_row = csv.substr(csv.find('\n') + 1);
+  EXPECT_EQ(first_row.substr(0, 3), "TUR");
+  EXPECT_NE(first_row.find("9121"), std::string::npos);
+  EXPECT_NE(first_row.find("20.0%"), std::string::npos);
+}
+
+TEST(ReportTest, Table5ComputesRankDeltas) {
+  std::map<std::string, std::uint64_t> campaign{{"BRA", 5}, {"TUR", 9}};
+  const auto t = table5_rank_comparison(sample_census(), campaign, 20);
+  const auto csv = t.to_csv();
+  // Ours: BRA 20 ODNS (rank 1), TUR 10 (rank 2).
+  // Campaign: TUR 9 (rank 1), BRA 5 (rank 2).
+  EXPECT_NE(csv.find("BRA,1,20,2,5,+1,15"), std::string::npos);
+  EXPECT_NE(csv.find("TUR,2,10,1,9,-1,1"), std::string::npos);
+}
+
+TEST(ReportTest, Fig3MarksCountriesWithoutTf) {
+  auto census = sample_census();
+  CountryReport empty;
+  empty.code = "ZZZ";
+  empty.rr = 1;
+  census.by_country["ZZZ"] = empty;
+  const auto t = fig3_country_cdf(census, 30);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("countries with TF,2"), std::string::npos);
+  EXPECT_NE(csv.find("countries without TF,1"), std::string::npos);
+}
+
+TEST(ReportTest, Fig4StopsAtCountriesWithoutTf) {
+  const auto t = fig4_top_countries(sample_census(), 50);
+  EXPECT_EQ(t.rows(), 2u);  // BRA + TUR only
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("BRA,*"), std::string::npos);  // emerging flag
+  EXPECT_NE(csv.find("75.0%"), std::string::npos);  // BRA tf share 15/20
+}
+
+TEST(ReportTest, Fig5SharesPerProject) {
+  const auto t = fig5_project_shares(sample_census(), 50);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("BRA,66.7%,33.3%,0.0%,0.0%,0.0%"), std::string::npos);
+  EXPECT_NE(csv.find("TUR,0.0%,0.0%,0.0%,0.0%,100.0%"), std::string::npos);
+}
+
+TEST(ReportTest, Fig6AggregatesPerProject) {
+  std::vector<dnsroute::PathLengthSample> samples;
+  for (int i = 0; i < 4; ++i) {
+    samples.push_back({topo::ResolverProject::cloudflare, 100, 6});
+  }
+  samples.push_back({topo::ResolverProject::google, 200, 9});
+  samples.push_back({topo::ResolverProject::google, 201, 7});
+  const auto t = fig6_path_lengths(samples);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("Cloudflare,4,1,6.0"), std::string::npos);
+  EXPECT_NE(csv.find("Google,2,2,8.0"), std::string::npos);
+}
+
+TEST(ReportTest, Fig8BucketsDensities) {
+  const auto t = fig8_prefix_density(sample_census());
+  const auto csv = t.to_csv();
+  // One prefix of 3 (bucket 1-5) and one of 254 (bucket 254-256).
+  EXPECT_NE(csv.find("1-5,1,3"), std::string::npos);
+  EXPECT_NE(csv.find("254-256,1,254"), std::string::npos);
+  EXPECT_NE(csv.find("total /24s,2"), std::string::npos);
+}
+
+TEST(ReportTest, DevicesTableIncludesShare) {
+  classify::DeviceReport report;
+  report.tf_total = 100;
+  report.fingerprinted = 13;
+  report.mikrotik = 3;
+  report.by_product["MikroTik RouterOS"] = 3;
+  report.by_product["Zyxel VMG series"] = 10;
+  const auto t = devices_table(report);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("23.1%"), std::string::npos);  // 3/13
+}
+
+TEST(ReportTest, AsClassificationTotals) {
+  classify::AsClassificationReport report;
+  report.top_n = 100;
+  report.by_type[topo::AsType::eyeball_isp] = 79;
+  report.eyeball_total = 79;
+  report.classified_peeringdb = 37;
+  report.classified_manual = 42;
+  report.unclassified = 14;
+  report.wide_asns = 65;
+  report.tf_coverage = 0.5;
+  const auto t = as_classification_table(report);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("Cable/DSL/ISP,79"), std::string::npos);
+  EXPECT_NE(csv.find("50.0%"), std::string::npos);
+}
+
+TEST(ReportTest, EmergingFlagFollowsProfiles) {
+  EXPECT_TRUE(is_emerging("BRA"));
+  EXPECT_TRUE(is_emerging("IND"));
+  EXPECT_FALSE(is_emerging("USA"));
+  EXPECT_FALSE(is_emerging("XXX"));  // unknown country
+}
+
+}  // namespace
+}  // namespace odns::core::report

@@ -1,0 +1,197 @@
+// Property sweep over randomly generated AS topologies: routing,
+// TTL accounting, SAV and ICMP invariants must hold for every graph.
+
+#include <gtest/gtest.h>
+
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace odns::netsim {
+namespace {
+
+using util::Ipv4;
+using util::Prefix;
+using util::Rng;
+
+struct RandomWorld {
+  Simulator sim;
+  std::vector<Asn> asns;
+  std::vector<HostId> hosts;  // one per AS
+};
+
+/// Random connected topology: a tree plus extra chords.
+RandomWorld make_world(std::uint64_t seed, int n_ases) {
+  RandomWorld w;
+  Rng rng{seed};
+  auto& net = w.sim.net();
+  for (int i = 0; i < n_ases; ++i) {
+    AsConfig cfg;
+    cfg.asn = static_cast<Asn>(100 + i);
+    cfg.internal_hops = rng.uniform_int(1, 4);
+    cfg.source_address_validation = rng.chance(0.5);
+    net.add_as(cfg);
+    w.asns.push_back(cfg.asn);
+    if (i > 0) {
+      net.link(cfg.asn, w.asns[static_cast<std::size_t>(
+                            rng.uniform_int(0, i - 1))]);
+    }
+  }
+  for (int extra = 0; extra < n_ases / 3; ++extra) {
+    net.link(rng.pick(w.asns), rng.pick(w.asns));
+  }
+  for (int i = 0; i < n_ases; ++i) {
+    const Ipv4 addr{static_cast<std::uint32_t>((20u << 24) + (i << 8) + 1)};
+    net.announce(w.asns[static_cast<std::size_t>(i)], Prefix{addr, 24});
+    w.hosts.push_back(
+        net.add_host(w.asns[static_cast<std::size_t>(i)], {addr}));
+  }
+  return w;
+}
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, HopCountEqualsSumOfInternalHops) {
+  auto w = make_world(GetParam(), 24);
+  const auto& net = w.sim.net();
+  Rng rng{GetParam() ^ 1};
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto from = rng.pick(w.hosts);
+    const auto to = rng.pick(w.hosts);
+    const auto dst = net.host(to).addrs.front();
+    const auto route = net.route(from, dst);
+    ASSERT_TRUE(route.has_value());
+    std::size_t expected = 0;
+    for (const auto asn : route->as_path) {
+      expected += static_cast<std::size_t>(
+          net.find_as(asn)->cfg.internal_hops);
+    }
+    EXPECT_EQ(route->router_hops.size(), expected);
+    // AS path endpoints match source and destination ASes.
+    EXPECT_EQ(route->as_path.front(), net.host(from).asn);
+    EXPECT_EQ(route->as_path.back(), net.host(to).asn);
+    // AS-path length consistent with BFS distance.
+    EXPECT_EQ(static_cast<int>(route->as_path.size()) - 1,
+              net.as_distance(net.host(from).asn, net.host(to).asn));
+  }
+}
+
+TEST_P(RoutingProperty, EveryRouterHopBelongsToAnAsOnThePath) {
+  auto w = make_world(GetParam(), 16);
+  const auto& net = w.sim.net();
+  Rng rng{GetParam() ^ 2};
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto from = rng.pick(w.hosts);
+    const auto to = rng.pick(w.hosts);
+    const auto route = net.route(from, net.host(to).addrs.front());
+    ASSERT_TRUE(route.has_value());
+    for (const auto hop : route->router_hops) {
+      const auto owner = net.router_owner(hop);
+      ASSERT_TRUE(owner.has_value());
+      EXPECT_NE(std::find(route->as_path.begin(), route->as_path.end(),
+                          *owner),
+                route->as_path.end());
+    }
+  }
+}
+
+class CountingSink : public App {
+ public:
+  void on_datagram(const Datagram& d) override {
+    ++count;
+    last_ttl = d.ttl;
+  }
+  int count = 0;
+  int last_ttl = -1;
+};
+
+TEST_P(RoutingProperty, ExactTtlDeliveryBoundary) {
+  // A packet with TTL exactly equal to the router-hop count expires at
+  // the last router; TTL = hops + 1 is delivered with 1 remaining.
+  auto w = make_world(GetParam(), 12);
+  auto& net = w.sim.net();
+  Rng rng{GetParam() ^ 3};
+  const auto from = w.hosts[0];
+  const auto to = w.hosts[w.hosts.size() - 1];
+  const auto dst = net.host(to).addrs.front();
+  const auto route = net.route(from, dst);
+  ASSERT_TRUE(route.has_value());
+  const int hops = static_cast<int>(route->router_hops.size());
+  if (hops == 0) GTEST_SKIP() << "same-AS corner";
+
+  CountingSink sink;
+  w.sim.bind_udp(to, 53, &sink);
+  int icmp_count = 0;
+  w.sim.set_icmp_handler(from, [&](const Packet&) { ++icmp_count; });
+
+  SendOptions at_boundary;
+  at_boundary.dst = dst;
+  at_boundary.dst_port = 53;
+  at_boundary.ttl = hops;
+  w.sim.send_udp(from, std::move(at_boundary));
+  SendOptions above_boundary;
+  above_boundary.dst = dst;
+  above_boundary.dst_port = 53;
+  above_boundary.ttl = hops + 1;
+  w.sim.send_udp(from, std::move(above_boundary));
+  w.sim.run();
+
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(sink.last_ttl, 1);
+  EXPECT_EQ(icmp_count, 1);
+  (void)rng;
+}
+
+TEST_P(RoutingProperty, TracerouteReconstructsTheRoute) {
+  // Probing with increasing TTLs yields exactly the route's router
+  // list, in order — the invariant DNSRoute++ builds on.
+  auto w = make_world(GetParam(), 10);
+  auto& net = w.sim.net();
+  const auto from = w.hosts[1];
+  const auto to = w.hosts[w.hosts.size() - 2];
+  const auto dst = net.host(to).addrs.front();
+  const auto route = net.route(from, dst);
+  ASSERT_TRUE(route.has_value());
+
+  std::vector<Ipv4> seen;
+  w.sim.set_icmp_handler(from, [&](const Packet& p) {
+    if (p.icmp_type == IcmpType::ttl_exceeded) seen.push_back(p.src);
+  });
+  for (int ttl = 1; ttl <= static_cast<int>(route->router_hops.size());
+       ++ttl) {
+    SendOptions probe;
+    probe.dst = dst;
+    probe.dst_port = 33434;
+    probe.ttl = ttl;
+    w.sim.send_udp(from, std::move(probe));
+    w.sim.run();
+  }
+  EXPECT_EQ(seen, route->router_hops);
+}
+
+TEST_P(RoutingProperty, SpoofingOnlyEscapesSavFreeAses) {
+  auto w = make_world(GetParam(), 14);
+  auto& net = w.sim.net();
+  Rng rng{GetParam() ^ 4};
+  const Ipv4 foreign{203, 0, 113, 7};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto from = rng.pick(w.hosts);
+    const auto to = rng.pick(w.hosts);
+    if (from == to) continue;
+    const auto before = w.sim.counters().dropped_sav;
+    SendOptions opts;
+    opts.dst = net.host(to).addrs.front();
+    opts.dst_port = 4000;
+    opts.spoof_src = foreign;
+    w.sim.send_udp(from, std::move(opts));
+    const bool sav = net.find_as(net.host(from).asn)
+                         ->cfg.source_address_validation;
+    EXPECT_EQ(w.sim.counters().dropped_sav, before + (sav ? 1 : 0));
+  }
+  w.sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(11, 23, 37, 59, 71, 97, 131));
+
+}  // namespace
+}  // namespace odns::netsim

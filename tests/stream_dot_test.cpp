@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "nodes/dot.hpp"
+#include "nodes/forwarder.hpp"
+#include "testutil.hpp"
+
+namespace odns::netsim {
+namespace {
+
+using nodes::DotClient;
+using nodes::DotService;
+using nodes::kDotPort;
+using test::MiniWorld;
+using util::Ipv4;
+
+class StreamFixture : public ::testing::Test {
+ protected:
+  MiniWorld world;
+
+  HostId add_host(Ipv4 addr) { return world.add_access_host(addr); }
+};
+
+// ---------------------------------------------------------------------
+// Stream transport basics
+// ---------------------------------------------------------------------
+
+TEST(SegmentCodec, RoundTrip) {
+  Segment seg{SegmentKind::data, {1, 2, 3, 4}};
+  const auto wire = seg.encode();
+  const auto decoded = Segment::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, SegmentKind::data);
+  EXPECT_EQ(decoded->data, seg.data);
+}
+
+TEST(SegmentCodec, RejectsNonSegments) {
+  EXPECT_FALSE(Segment::decode({}).has_value());
+  EXPECT_FALSE(Segment::decode({0x00, 0x01}).has_value());
+}
+
+TEST_F(StreamFixture, HandshakeAndEcho) {
+  const auto server_host = add_host(Ipv4{20, 0, 10, 1});
+  const auto client_host = add_host(Ipv4{20, 0, 10, 2});
+
+  std::vector<std::vector<std::uint8_t>> server_got;
+  StreamEndpoint server(
+      world.sim, server_host,
+      StreamCallbacks{nullptr, nullptr,
+                      [&](const ConnectionPtr& conn,
+                          std::vector<std::uint8_t> msg) {
+                        server_got.push_back(msg);
+                        msg.push_back(0xFF);  // echo, marked
+                        server.send(conn, std::move(msg));
+                      },
+                      nullptr});
+  server.listen(kDotPort);
+
+  int connected = 0;
+  std::vector<std::vector<std::uint8_t>> client_got;
+  StreamEndpoint client(
+      world.sim, client_host,
+      StreamCallbacks{
+          nullptr,
+          [&](const ConnectionPtr& conn) {
+            ++connected;
+            client.send(conn, {9, 8, 7});
+          },
+          [&](const ConnectionPtr&, std::vector<std::uint8_t> msg) {
+            client_got.push_back(std::move(msg));
+          },
+          nullptr});
+  client.connect(Ipv4{20, 0, 10, 1}, kDotPort);
+  world.sim.run();
+
+  EXPECT_EQ(connected, 1);
+  ASSERT_EQ(server_got.size(), 1u);
+  EXPECT_EQ(server_got[0], (std::vector<std::uint8_t>{9, 8, 7}));
+  ASSERT_EQ(client_got.size(), 1u);
+  EXPECT_EQ(client_got[0], (std::vector<std::uint8_t>{9, 8, 7, 0xFF}));
+}
+
+TEST_F(StreamFixture, ConnectToDeadHostTimesOut) {
+  const auto client_host = add_host(Ipv4{20, 0, 10, 2});
+  add_host(Ipv4{20, 0, 10, 9});  // host exists, nothing listens
+  int errors = 0;
+  StreamEndpoint client(
+      world.sim, client_host,
+      StreamCallbacks{nullptr, nullptr, nullptr,
+                      [&](const ConnectionPtr&, const std::string&) {
+                        ++errors;
+                      }});
+  auto conn = client.connect(Ipv4{20, 0, 10, 9}, kDotPort);
+  world.sim.run();
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(conn->state, Connection::State::closed);
+  EXPECT_EQ(client.handshakes_rejected(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// The §6 result: DoT works directly, never through a transparent relay
+// ---------------------------------------------------------------------
+
+class DotFixture : public StreamFixture {
+ protected:
+  void SetUp() override {
+    dot_server_addr = Ipv4{8, 8, 8, 53};
+    const auto server_host =
+        world.sim.net().add_host(test::kResolverAsn, {dot_server_addr});
+    service = std::make_unique<DotService>(world.sim, server_host,
+                                           test::kControlAddr);
+  }
+
+  Ipv4 dot_server_addr;
+  std::unique_ptr<DotService> service;
+};
+
+TEST_F(DotFixture, DirectDotQuerySucceeds) {
+  const auto client_host = add_host(Ipv4{20, 0, 11, 1});
+  DotClient client(world.sim, client_host);
+  client.query(dot_server_addr, world.scan_name);
+  world.sim.run();
+  EXPECT_EQ(client.answers(), 1u);
+  EXPECT_EQ(client.failures(), 0u);
+  ASSERT_TRUE(client.last_answer().has_value());
+  const auto addrs = client.last_answer()->answer_addresses();
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], (Ipv4{20, 0, 11, 1}));  // mirror of the client
+  EXPECT_EQ(service->queries_served(), 1u);
+}
+
+TEST_F(DotFixture, TransparentRelayBreaksTheHandshake) {
+  // A device transparently redirecting port 853 to the DoT server: the
+  // SYN is relayed with the client's source, so the SYN-ACK arrives at
+  // the client from the *server's* address — which the client never
+  // connected to. The handshake must fail (§6: "their connection-based
+  // requests conflict with IP spoofing").
+  const auto tf_host = add_host(Ipv4{20, 0, 12, 1});
+  world.sim.add_port_redirect(tf_host, kDotPort, dot_server_addr);
+
+  const auto client_host = add_host(Ipv4{20, 0, 12, 2});
+  DotClient client(world.sim, client_host);
+  client.query(Ipv4{20, 0, 12, 1}, world.scan_name);
+  world.sim.run();
+
+  EXPECT_EQ(client.answers(), 0u);
+  EXPECT_EQ(client.failures(), 1u);
+  EXPECT_EQ(service->queries_served(), 0u);
+  // The relay did happen — the failure is end-to-end, not at the relay.
+  EXPECT_EQ(world.sim.redirect_relays(tf_host), 1u);
+}
+
+TEST_F(DotFixture, UdpThroughTheSameDeviceStillWorks) {
+  // Contrast case: the same device also redirects UDP/53, and that
+  // path keeps functioning — transparent forwarding is a UDP-only
+  // phenomenon.
+  const auto tf_host = add_host(Ipv4{20, 0, 13, 1});
+  world.sim.add_port_redirect(tf_host, kDotPort, dot_server_addr);
+  world.sim.add_port_redirect(tf_host, nodes::kDnsPort, test::kResolverAddr);
+
+  nodes::StubClient stub(world.sim, add_host(Ipv4{20, 0, 13, 2}));
+  stub.start();
+  stub.query(Ipv4{20, 0, 13, 1}, world.scan_name);
+
+  DotClient dot(world.sim, add_host(Ipv4{20, 0, 13, 3}));
+  dot.query(Ipv4{20, 0, 13, 1}, world.scan_name);
+  world.sim.run();
+
+  ASSERT_EQ(stub.responses().size(), 1u);
+  EXPECT_EQ(stub.responses().front().from, test::kResolverAddr);
+  EXPECT_EQ(dot.answers(), 0u);
+  EXPECT_EQ(dot.failures(), 1u);
+}
+
+TEST_F(DotFixture, SpoofedVictimResetsStraySynAck) {
+  // Reflection-over-DoT does not work either: an attacker spoofing a
+  // victim's address in a SYN only makes the victim receive a stray
+  // SYN-ACK, which it resets — no amplification.
+  const auto victim_host = add_host(Ipv4{20, 0, 14, 1});
+  StreamEndpoint victim(world.sim, victim_host, StreamCallbacks{});
+  (void)victim;
+
+  const auto attacker_host = add_host(Ipv4{20, 0, 14, 2});
+  netsim::SendOptions syn;
+  syn.dst = dot_server_addr;
+  syn.src_port = 52001;
+  syn.dst_port = kDotPort;
+  syn.payload = Segment{SegmentKind::syn, {}}.encode();
+  syn.spoof_src = Ipv4{20, 0, 14, 1};
+  world.sim.send_udp(attacker_host, std::move(syn));
+  world.sim.run();
+
+  EXPECT_EQ(service->queries_served(), 0u);
+}
+
+}  // namespace
+}  // namespace odns::netsim

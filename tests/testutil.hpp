@@ -1,0 +1,125 @@
+#pragma once
+// Shared fixtures: a hand-built miniature Internet with the DNS
+// hierarchy (root / .net TLD / mirror-mode authoritative), one public
+// resolver, and a SAV-free access network — small enough that tests
+// can reason about exact hop counts and addresses.
+
+#include <memory>
+
+#include "nodes/auth_server.hpp"
+#include "nodes/forwarder.hpp"
+#include "nodes/resolver.hpp"
+#include "nodes/stub.hpp"
+#include "netsim/sim.hpp"
+
+namespace odns::test {
+
+using netsim::Asn;
+using netsim::HostId;
+using util::Ipv4;
+using util::Prefix;
+
+inline constexpr Asn kTier1Asn = 100;
+inline constexpr Asn kInfraAsn = 200;
+inline constexpr Asn kResolverAsn = 300;
+inline constexpr Asn kAccessAsn = 400;   // SAV disabled
+inline constexpr Asn kScannerAsn = 500;
+
+inline constexpr Ipv4 kRootAddr{198, 41, 0, 4};
+inline constexpr Ipv4 kTldAddr{192, 5, 6, 30};
+inline constexpr Ipv4 kAuthAddr{198, 51, 100, 53};
+inline constexpr Ipv4 kControlAddr{198, 51, 100, 200};
+inline constexpr Ipv4 kResolverAddr{8, 8, 8, 8};
+inline constexpr Ipv4 kScannerAddr{192, 0, 2, 1};
+
+/// A five-AS world: tier1 in the middle, infra (root/TLD/auth),
+/// a public resolver, an access network without SAV, and the scanner.
+struct MiniWorld {
+  explicit MiniWorld(netsim::SimConfig cfg = {});
+
+  dnswire::Name scan_name = *dnswire::Name::parse("scan.odns-study.net");
+
+  netsim::Simulator sim;
+  HostId root_host;
+  HostId tld_host;
+  HostId auth_host;
+  HostId resolver_host;
+  HostId scanner_host;
+
+  std::unique_ptr<nodes::AuthServer> root;
+  std::unique_ptr<nodes::AuthServer> tld;
+  std::unique_ptr<nodes::AuthServer> auth;
+  std::unique_ptr<nodes::RecursiveResolver> resolver;
+
+  /// Adds a host with `addr` to the access network.
+  HostId add_access_host(Ipv4 addr) {
+    return sim.net().add_host(kAccessAsn, {addr});
+  }
+};
+
+inline MiniWorld::MiniWorld(netsim::SimConfig cfg) : sim(cfg) {
+  auto& net = sim.net();
+  auto add_as = [&](Asn asn, bool sav, int hops) {
+    netsim::AsConfig ac;
+    ac.asn = asn;
+    ac.country = "TST";
+    ac.source_address_validation = sav;
+    ac.internal_hops = hops;
+    net.add_as(ac);
+  };
+  add_as(kTier1Asn, true, 2);
+  add_as(kInfraAsn, true, 1);
+  add_as(kResolverAsn, true, 1);
+  add_as(kAccessAsn, /*sav=*/false, 1);
+  add_as(kScannerAsn, false, 1);
+  net.link(kTier1Asn, kInfraAsn);
+  net.link(kTier1Asn, kResolverAsn);
+  net.link(kTier1Asn, kAccessAsn);
+  net.link(kTier1Asn, kScannerAsn);
+
+  net.announce(kInfraAsn, Prefix{kRootAddr, 24});
+  net.announce(kInfraAsn, Prefix{kTldAddr, 24});
+  net.announce(kInfraAsn, Prefix{kAuthAddr, 24});
+  net.announce(kResolverAsn, Prefix{Ipv4{8, 8, 8, 0}, 24});
+  net.announce(kAccessAsn, Prefix{Ipv4{20, 0, 0, 0}, 16});
+  net.announce(kScannerAsn, Prefix{kScannerAddr, 24});
+
+  root_host = net.add_host(kInfraAsn, {kRootAddr});
+  tld_host = net.add_host(kInfraAsn, {kTldAddr});
+  auth_host = net.add_host(kInfraAsn, {kAuthAddr});
+  resolver_host = net.add_host(kResolverAsn, {kResolverAddr});
+  scanner_host = net.add_host(kScannerAsn, {kScannerAddr});
+
+  const auto net_name = *dnswire::Name::parse("net");
+  const auto zone_name = *dnswire::Name::parse("odns-study.net");
+
+  root = std::make_unique<nodes::AuthServer>(sim, root_host);
+  root->add_zone(dnswire::Name{})
+      .delegate(net_name, *dnswire::Name::parse("a.gtld-servers.net"),
+                kTldAddr);
+  root->start();
+
+  tld = std::make_unique<nodes::AuthServer>(sim, tld_host);
+  tld->add_zone(net_name)
+      .delegate(zone_name, *dnswire::Name::parse("ns1.odns-study.net"),
+                kAuthAddr);
+  tld->start();
+
+  auth = std::make_unique<nodes::AuthServer>(sim, auth_host);
+  auto& zone = auth->add_zone(zone_name);
+  zone.add_a("ns1.odns-study.net", kAuthAddr);
+  nodes::MirrorConfig mirror;
+  mirror.name = scan_name;
+  mirror.control_addr = kControlAddr;
+  auth->set_mirror(mirror);
+  auth->start();
+
+  nodes::ResolverConfig rc;
+  rc.open = true;
+  rc.root_hints = {kRootAddr};
+  resolver = std::make_unique<nodes::RecursiveResolver>(sim, resolver_host,
+                                                        rc, 77);
+  resolver->start();
+}
+
+}  // namespace odns::test

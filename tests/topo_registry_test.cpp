@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "registry/registry.hpp"
+#include "topo/deployment.hpp"
+
+namespace odns::topo {
+namespace {
+
+using util::Ipv4;
+using util::Prefix;
+
+// ---------------------------------------------------------------------
+// Embedded profile data sanity (the reproduction's data core)
+// ---------------------------------------------------------------------
+
+TEST(ProfileData, GlobalMarginalsMatchPaper) {
+  std::uint64_t odns = 0;
+  double tf = 0;
+  for (const auto& p : country_profiles()) {
+    odns += p.odns_total;
+    tf += static_cast<double>(p.odns_total) * p.tf_share;
+  }
+  // Paper: 2.125M ODNS components, ~26% transparent forwarders.
+  EXPECT_NEAR(static_cast<double>(odns), 2.125e6, 0.12e6);
+  EXPECT_NEAR(tf / static_cast<double>(odns), 0.26, 0.03);
+}
+
+TEST(ProfileData, TopTenCountriesHoldNinetyPercentOfTfs) {
+  std::vector<double> tfs;
+  double total = 0;
+  for (const auto& p : country_profiles()) {
+    tfs.push_back(static_cast<double>(p.tf_total()));
+    total += tfs.back();
+  }
+  std::sort(tfs.begin(), tfs.end(), std::greater<>());
+  double top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += tfs[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(top10 / total, 0.90, 0.04);  // paper: ~90%
+}
+
+TEST(ProfileData, BrazilAndIndiaAreMostlyTransparent) {
+  for (const auto& p : country_profiles()) {
+    if (p.code == "BRA" || p.code == "IND") {
+      EXPECT_GT(p.tf_share, 0.80) << p.code;
+    }
+    if (p.code == "CHN") {
+      EXPECT_NEAR(p.tf_share, 0.02, 0.005);  // §4.2: China's ODNS is ~2% TF
+    }
+  }
+}
+
+TEST(ProfileData, FiveCountriesAboveNinetyPercentTf) {
+  int over90 = 0;
+  for (const auto& p : country_profiles()) {
+    if (p.tf_share > 0.90) ++over90;
+  }
+  EXPECT_EQ(over90, 5);  // §4.2
+}
+
+TEST(ProfileData, EmergingMarketsDominateBigTfCountries) {
+  // 8 of the 9 countries with >10k transparent forwarders are emerging
+  // markets (§4.2).
+  int over10k = 0;
+  int emerging = 0;
+  for (const auto& p : country_profiles()) {
+    if (p.tf_total() > 10000) {
+      ++over10k;
+      if (p.emerging) ++emerging;
+    }
+  }
+  EXPECT_EQ(over10k, 9);
+  EXPECT_EQ(emerging, 8);
+}
+
+TEST(ProfileData, TurkeyHasSingleNationalResolver) {
+  for (const auto& p : country_profiles()) {
+    if (p.code == "TUR") {
+      EXPECT_EQ(p.national_resolvers, 1);
+      EXPECT_GT(p.mix.other, 0.9);
+    }
+  }
+}
+
+TEST(ProfileData, ProjectBlueprintsOrderedByPopDensity) {
+  const auto& projects = project_blueprints();
+  ASSERT_EQ(projects.size(), 4u);
+  int cf_pops = 0;
+  int google_pops = 0;
+  int opendns_pops = 0;
+  for (const auto& bp : projects) {
+    if (bp.project == ResolverProject::cloudflare) cf_pops = bp.pops;
+    if (bp.project == ResolverProject::google) google_pops = bp.pops;
+    if (bp.project == ResolverProject::opendns) opendns_pops = bp.pops;
+  }
+  // Fig. 6 lever: denser anycast → shorter paths.
+  EXPECT_GT(cf_pops, google_pops);
+  EXPECT_GT(google_pops, opendns_pops);
+}
+
+TEST(ProfileData, ResolverMixesSumToOne) {
+  for (const auto& p : country_profiles()) {
+    const double sum = p.mix.google + p.mix.cloudflare + p.mix.quad9 +
+                       p.mix.opendns + p.mix.other;
+    EXPECT_NEAR(sum, 1.0, 0.02) << p.code;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Builder invariants on a small world
+// ---------------------------------------------------------------------
+
+class BuiltWorld : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TopologyConfig cfg;
+    cfg.scale = 0.005;
+    cfg.seed = 7;
+    world_ = TopologyBuilder::build(cfg).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static Deployment* world_;
+};
+
+Deployment* BuiltWorld::world_ = nullptr;
+
+TEST_F(BuiltWorld, GroundTruthAddressesAreUnique) {
+  std::unordered_set<Ipv4> seen;
+  for (const auto& gt : world_->ground_truth()) {
+    EXPECT_TRUE(seen.insert(gt.addr).second)
+        << "duplicate " << gt.addr.to_string();
+  }
+}
+
+TEST_F(BuiltWorld, TransparentForwardersLiveInSavFreeAses) {
+  const auto& net = world_->sim().net();
+  for (const auto& gt : world_->ground_truth()) {
+    if (gt.kind != OdnsKind::transparent_forwarder) continue;
+    const auto* info = net.find_as(gt.asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_FALSE(info->cfg.source_address_validation)
+        << "TF in SAV-enforcing AS " << gt.asn;
+  }
+}
+
+TEST_F(BuiltWorld, EveryHostAddressIsAnnouncedByItsAs) {
+  const auto& net = world_->sim().net();
+  for (const auto& gt : world_->ground_truth()) {
+    EXPECT_TRUE(net.source_is_legitimate(gt.asn, gt.addr))
+        << gt.addr.to_string() << " not covered by AS " << gt.asn;
+  }
+}
+
+TEST_F(BuiltWorld, CompositionRoughlyMatchesProfileShares) {
+  std::uint64_t tf = 0;
+  std::uint64_t rf = 0;
+  std::uint64_t rr = 0;
+  for (const auto& gt : world_->ground_truth()) {
+    switch (gt.kind) {
+      case OdnsKind::transparent_forwarder: ++tf; break;
+      case OdnsKind::recursive_forwarder: ++rf; break;
+      case OdnsKind::recursive_resolver: ++rr; break;
+    }
+  }
+  const double total = static_cast<double>(tf + rf + rr);
+  EXPECT_GT(total, 5000);  // 0.005 × 2.1M ≈ 10.5k, minus rounding
+  EXPECT_NEAR(static_cast<double>(tf) / total, 0.26, 0.06);
+  EXPECT_GT(static_cast<double>(rf) / total, 0.6);
+  EXPECT_LT(static_cast<double>(rr) / total, 0.06);
+}
+
+TEST_F(BuiltWorld, ChainedForwardersTargetLocalAs) {
+  const auto& net = world_->sim().net();
+  int chained = 0;
+  for (const auto& gt : world_->ground_truth()) {
+    if (gt.kind != OdnsKind::transparent_forwarder || !gt.chained) continue;
+    ++chained;
+    // Indirect consolidation: the chain RF lives in the same AS.
+    const auto owner = net.unicast_owner(gt.upstream);
+    ASSERT_NE(owner, netsim::kInvalidHost);
+    EXPECT_EQ(net.host(owner).asn, gt.asn);
+  }
+  EXPECT_GT(chained, 0);
+}
+
+TEST_F(BuiltWorld, AnycastServiceAddressesResolveEverywhere) {
+  const auto& net = world_->sim().net();
+  for (const auto& bp : project_blueprints()) {
+    for (const auto addr : bp.service_addrs) {
+      EXPECT_TRUE(net.is_anycast(addr)) << addr.to_string();
+      // Visible from an arbitrary eyeball AS.
+      const auto& gt = world_->ground_truth().front();
+      EXPECT_NE(net.resolve_destination(addr, gt.asn), netsim::kInvalidHost);
+    }
+  }
+}
+
+TEST_F(BuiltWorld, ScanTargetsMatchGroundTruth) {
+  EXPECT_EQ(world_->scan_targets().size(), world_->ground_truth().size());
+}
+
+TEST_F(BuiltWorld, DeterministicAcrossRebuilds) {
+  TopologyConfig cfg;
+  cfg.scale = 0.005;
+  cfg.seed = 7;
+  const auto again = TopologyBuilder::build(cfg);
+  ASSERT_EQ(again->ground_truth().size(), world_->ground_truth().size());
+  for (std::size_t i = 0; i < again->ground_truth().size(); i += 97) {
+    EXPECT_EQ(again->ground_truth()[i].addr, world_->ground_truth()[i].addr);
+    EXPECT_EQ(again->ground_truth()[i].asn, world_->ground_truth()[i].asn);
+  }
+}
+
+TEST_F(BuiltWorld, PrefixStylesProduceExpectedDensities) {
+  std::unordered_map<std::uint32_t, std::uint32_t> per24;
+  for (const auto& gt : world_->ground_truth()) {
+    if (gt.kind != OdnsKind::transparent_forwarder) continue;
+    ++per24[Prefix::covering24(gt.addr).base().value()];
+  }
+  std::uint64_t sparse = 0;
+  std::uint64_t medium = 0;
+  std::uint64_t full = 0;
+  std::uint64_t total = 0;
+  for (const auto& [base, count] : per24) {
+    total += count;
+    if (count <= 25) sparse += count;
+    else if (count >= 254) full += count;
+    else medium += count;
+  }
+  // Fig. 8 anchors are ~26% sparse / ~36% full at April-2021 scale.
+  // A full /24 needs 254 forwarders at once, so shrinking the
+  // population raises the sparse floor (every tail country is sparse)
+  // and depresses the full share; at this test's 0.005 scale the
+  // expectation is directional, not exact (the 0.02-scale bench lands
+  // at ≈31%/38%/31%).
+  const double sparse_frac =
+      static_cast<double>(sparse) / static_cast<double>(total);
+  const double full_frac =
+      static_cast<double>(full) / static_cast<double>(total);
+  EXPECT_GT(sparse_frac, 0.18);
+  EXPECT_LT(sparse_frac, 0.48);
+  EXPECT_GT(full_frac, 0.12);
+  EXPECT_LT(full_frac, 0.48);
+  EXPECT_GT(medium, 0u);
+  // Fully populated prefixes are exactly full: 254 hosts.
+  for (const auto& [base, count] : per24) {
+    EXPECT_LE(count, 254u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry snapshots
+// ---------------------------------------------------------------------
+
+TEST(RouteviewsTable, LongestPrefixMatchWins) {
+  registry::RouteviewsTable table;
+  table.add(Prefix{Ipv4{20, 0, 0, 0}, 8}, 1);
+  table.add(Prefix{Ipv4{20, 5, 0, 0}, 16}, 2);
+  table.add(Prefix{Ipv4{20, 5, 5, 0}, 24}, 3);
+  EXPECT_EQ(table.origin_of(Ipv4{20, 1, 1, 1}), 1u);
+  EXPECT_EQ(table.origin_of(Ipv4{20, 5, 1, 1}), 2u);
+  EXPECT_EQ(table.origin_of(Ipv4{20, 5, 5, 1}), 3u);
+  EXPECT_FALSE(table.origin_of(Ipv4{21, 0, 0, 1}).has_value());
+}
+
+TEST(RouteviewsTable, HostRoutesSupported) {
+  registry::RouteviewsTable table;
+  table.add(Prefix{Ipv4{100, 64, 0, 7}, 32}, 42);
+  EXPECT_EQ(table.origin_of(Ipv4{100, 64, 0, 7}), 42u);
+  EXPECT_FALSE(table.origin_of(Ipv4{100, 64, 0, 8}).has_value());
+}
+
+TEST_F(BuiltWorld, DerivedRegistryCoversThePopulation) {
+  registry::SnapshotConfig cfg;
+  cfg.seed = 5;
+  const auto snap = registry::RegistrySnapshot::derive(*world_, cfg);
+
+  std::uint64_t mapped = 0;
+  std::uint64_t total = 0;
+  for (const auto& gt : world_->ground_truth()) {
+    ++total;
+    const auto asn = snap.routeviews.origin_of(gt.addr);
+    if (asn) {
+      ++mapped;
+      // When mapped, the mapping agrees with ground truth.
+      EXPECT_EQ(*asn, gt.asn);
+      if (auto country = snap.whois.country_of(*asn)) {
+        EXPECT_EQ(*country, gt.country);
+      }
+    }
+  }
+  // Paper: 99.9% of addresses mapped.
+  EXPECT_GT(static_cast<double>(mapped) / static_cast<double>(total), 0.99);
+}
+
+TEST_F(BuiltWorld, RegistryPeeringDbIsSparseAndManualFillsIn) {
+  registry::SnapshotConfig cfg;
+  const auto snap = registry::RegistrySnapshot::derive(*world_, cfg);
+  const auto& asns = world_->sim().net().all_asns();
+  std::size_t in_pdb = 0;
+  std::size_t in_manual = 0;
+  for (const auto asn : asns) {
+    if (snap.peeringdb.type_of(asn)) ++in_pdb;
+    if (snap.manual.type_of(asn)) ++in_manual;
+  }
+  EXPECT_LT(in_pdb, asns.size());
+  EXPECT_GT(in_pdb, 0u);
+  EXPECT_GT(in_manual, 0u);
+  EXPECT_LT(in_pdb + in_manual, asns.size());  // some stay unclassified
+}
+
+TEST_F(BuiltWorld, RegistryFingerprintsCoverMinorityOfTfs) {
+  registry::SnapshotConfig cfg;
+  const auto snap = registry::RegistrySnapshot::derive(*world_, cfg);
+  std::uint64_t tf = 0;
+  std::uint64_t covered = 0;
+  for (const auto& gt : world_->ground_truth()) {
+    if (gt.kind != OdnsKind::transparent_forwarder) continue;
+    ++tf;
+    if (snap.shodan.find(gt.addr) != nullptr) ++covered;
+  }
+  const double coverage =
+      static_cast<double>(covered) / static_cast<double>(tf);
+  // Paper: Shodan knows 80k of 600k (~13%).
+  EXPECT_NEAR(coverage, 0.13, 0.05);
+}
+
+TEST_F(BuiltWorld, CaidaMissesSomeTrueEdges) {
+  registry::SnapshotConfig cfg;
+  const auto snap = registry::RegistrySnapshot::derive(*world_, cfg);
+  std::size_t missing = 0;
+  for (const auto& [p, c] : world_->provider_customer_edges()) {
+    if (!snap.caida.knows(p, c)) ++missing;
+  }
+  EXPECT_GT(missing, 0u);  // §5's discovery opportunity exists
+}
+
+}  // namespace
+}  // namespace odns::topo
