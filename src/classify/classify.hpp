@@ -9,6 +9,9 @@
 // records with the control record unaltered. Shadowserver-style
 // single-record validation is available as an ablation (§4.2 explains
 // the count differences it produces).
+//
+// Transactions come from scan/txscanner.hpp; aggregation into the
+// paper's tables lives in analysis.hpp. See docs/architecture.md.
 
 #include <cstdint>
 #include <optional>

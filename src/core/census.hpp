@@ -5,6 +5,10 @@
 // tables and figures draw from. Step-wise entry points are exposed for
 // benches that need intermediate control (method ablations, campaign
 // comparisons, DNSRoute++).
+//
+// Pipeline: topo::TopologyBuilder → scan::TransactionalScanner →
+// classify → registry joins → classify::Census; see "The census
+// pipeline" in docs/architecture.md.
 
 #include <memory>
 

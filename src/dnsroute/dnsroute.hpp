@@ -5,6 +5,9 @@
 // the TTL dies on the device, but relays the query onward otherwise, so
 // probes with larger TTLs expire *behind* the forwarder and reveal the
 // path segment between forwarder and recursive resolver.
+//
+// Relies on the hop-accurate TTL/ICMP semantics of netsim (sim.hpp);
+// docs/architecture.md diagrams the relay behavior being exploited.
 
 #include <cstdint>
 #include <optional>

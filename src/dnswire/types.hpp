@@ -1,5 +1,8 @@
 #pragma once
-// DNS protocol constants (RFC 1035 §3.2, RFC 6891 for OPT).
+// DNS protocol constants (RFC 1035 §3.2, RFC 6891 for OPT): record
+// types/classes, opcodes, and response codes, with to_string helpers
+// for the report/bench output. The scanner's probes are type-A queries;
+// OPT appears in the codec's EDNS0 handling.
 
 #include <cstdint>
 #include <string>

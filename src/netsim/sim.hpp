@@ -6,6 +6,10 @@
 // Hop traversal is computed analytically from the route (one event per
 // packet leg, not per router), which keeps Internet-scale scans cheap
 // while preserving exact TTL and ICMP semantics.
+//
+// The static half (AS graph, routing) lives in network.hpp; the event
+// core in event_queue.hpp. docs/architecture.md walks through how a
+// packet traverses all three.
 
 #include <cstdint>
 #include <functional>

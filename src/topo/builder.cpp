@@ -1,3 +1,10 @@
+// TopologyBuilder implementation: turns the country profiles in
+// data.cpp into a wired world — ASes, prefixes, the DNS hierarchy,
+// public-resolver anycast deployments, and the scaled ODNS population
+// (recursive resolvers / recursive forwarders / transparent
+// forwarders) — plus the ground truth the evaluation compares against.
+// There is no builder.hpp: the public surface lives in deployment.hpp.
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>

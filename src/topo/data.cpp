@@ -1,3 +1,7 @@
+// The embedded dataset: per-country profiles that seed the synthetic
+// world. This file is data, not logic — edit it only to track the
+// paper's published numbers (sources below).
+
 #include "topo/model.hpp"
 
 // Country profiles seeded from the paper's published numbers:
