@@ -1,0 +1,341 @@
+// Routing fast-path benchmark: measures raw netsim packet throughput
+// with the Network route cache disabled (the pre-cache baseline) and
+// enabled, on the two workloads Internet-scale scans generate:
+//
+//  * repeated-destination scan — one vantage host re-probing a fixed
+//    set of unicast targets, the shape of every §3/§4 scan campaign;
+//  * mixed anycast — half the targets are anycast groups, exercising
+//    the nearest-PoP resolution path (public resolvers à la 8.8.8.8).
+//
+// Besides timing, every workload is re-run with a packet-trace tap in
+// both modes and the traces, counters, and router-hop sequences are
+// required to be byte-identical — the cache must never change a routing
+// decision, only the cost of making it. Results are recorded at the
+// repo root as BENCH_netsim.json (see docs/benchmarks.md).
+//
+// usage: bench_netsim [--packets=N] [--ases=N] [--hops=N] [--dests=N]
+//                     [--seed=N] [--json=FILE] [--min-speedup=F]
+//
+// Exits 1 on a determinism violation, 2 when the repeated-destination
+// speedup falls below --min-speedup (CI's loud perf-regression gate).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/sim.hpp"
+#include "util/ipv4.hpp"
+
+namespace {
+
+using namespace odns;
+using netsim::Asn;
+using netsim::HostId;
+using netsim::Simulator;
+using util::Ipv4;
+using util::Prefix;
+
+struct Opts {
+  std::uint64_t packets = 200000;
+  std::uint32_t ases = 64;
+  int hops = 3;
+  std::uint32_t dests = 32;
+  std::uint64_t seed = 2021;
+  std::string json_path;
+  double min_speedup = 0.0;
+
+  static Opts parse(int argc, char** argv) {
+    Opts o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        return arg.c_str() + std::strlen(prefix);
+      };
+      if (arg.rfind("--packets=", 0) == 0) {
+        o.packets = std::strtoull(val("--packets="), nullptr, 10);
+      } else if (arg.rfind("--ases=", 0) == 0) {
+        o.ases = static_cast<std::uint32_t>(
+            std::strtoul(val("--ases="), nullptr, 10));
+      } else if (arg.rfind("--hops=", 0) == 0) {
+        o.hops = std::atoi(val("--hops="));
+      } else if (arg.rfind("--dests=", 0) == 0) {
+        o.dests = static_cast<std::uint32_t>(
+            std::strtoul(val("--dests="), nullptr, 10));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        o.seed = std::strtoull(val("--seed="), nullptr, 10);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        o.json_path = val("--json=");
+      } else if (arg.rfind("--min-speedup=", 0) == 0) {
+        o.min_speedup = std::atof(val("--min-speedup="));
+      } else {
+        std::cout << "usage: bench_netsim [--packets=N] [--ases=N] "
+                     "[--hops=N] [--dests=N] [--seed=N] [--json=FILE] "
+                     "[--min-speedup=F]\n";
+        std::exit(arg == "--help" ? 0 : 64);
+      }
+    }
+    if (o.ases < 4 || o.dests == 0 || o.hops < 1) {
+      std::cerr << "bench_netsim: need --ases>=4, --dests>=1, --hops>=1\n";
+      std::exit(64);
+    }
+    return o;
+  }
+};
+
+class NullSink : public netsim::App {
+ public:
+  void on_datagram(const netsim::Datagram&) override {}
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+
+/// The world under test plus the target list for one workload.
+struct World {
+  std::unique_ptr<Simulator> sim;
+  HostId scanner = netsim::kInvalidHost;
+  std::vector<Ipv4> targets;
+  NullSink sink;
+};
+
+/// Ring-of-ASes topology with a few chords; destinations spread evenly
+/// around the ring, optionally alternating with 3-member anycast
+/// groups. Identical for every (seed, opts) pair by construction.
+World build_world(const Opts& opts, bool anycast) {
+  World w;
+  netsim::SimConfig cfg;
+  cfg.seed = opts.seed;
+  w.sim = std::make_unique<Simulator>(cfg);
+  auto& net = w.sim->net();
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    netsim::AsConfig as;
+    as.asn = i;
+    as.internal_hops = opts.hops;
+    net.add_as(as);
+    net.announce(i, Prefix{Ipv4{10, static_cast<std::uint8_t>(i % 250), 0, 0},
+                           16});
+  }
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    net.link(i, i % opts.ases + 1);  // ring
+    if (i % 7 == 0 && i + opts.ases / 3 <= opts.ases) {
+      net.link(i, i + opts.ases / 3);  // chord
+    }
+  }
+  auto host_addr = [&](std::uint32_t asn, std::uint8_t lo) {
+    return Ipv4{10, static_cast<std::uint8_t>(asn % 250),
+                static_cast<std::uint8_t>(asn / 250), lo};
+  };
+  w.scanner = net.add_host(1, {host_addr(1, 1)});
+  for (std::uint32_t j = 0; j < opts.dests; ++j) {
+    // Spread destinations over ASes 2..ases (skipping the vantage AS).
+    const std::uint32_t asn = 2 + (j * (opts.ases - 1)) / opts.dests;
+    if (anycast && j % 2 == 1) {
+      const Ipv4 group{9, 9, static_cast<std::uint8_t>(j % 250), 1};
+      for (std::uint32_t m = 0; m < 3; ++m) {
+        const std::uint32_t masn = 2 + (asn - 2 + m * opts.ases / 3) %
+                                           (opts.ases - 1);
+        const auto member = net.add_host(
+            masn, {host_addr(masn, static_cast<std::uint8_t>(100 + j % 100))});
+        net.join_anycast(group, member);
+        w.sim->bind_udp(member, 53, &w.sink);
+      }
+      w.targets.push_back(group);
+    } else {
+      const auto host = net.add_host(
+          asn, {host_addr(asn, static_cast<std::uint8_t>(2 + j % 200))});
+      w.sim->bind_udp(host, 53, &w.sink);
+      w.targets.push_back(host_addr(asn, static_cast<std::uint8_t>(2 + j % 200)));
+    }
+  }
+  return w;
+}
+
+struct RunResult {
+  netsim::SimCounters counters;
+  netsim::RouteCacheStats cache_stats;
+  std::uint64_t trace_hash = kFnvBasis;
+  std::uint64_t route_hash = kFnvBasis;
+  double seconds = 0.0;
+};
+
+/// Sends `packets` probes round-robin over the targets and drains the
+/// event queue. The timed section covers injection + routing + delivery
+/// — the full per-packet fast path.
+RunResult run_workload(const Opts& opts, bool anycast, bool cached,
+                       bool traced, std::uint64_t packets) {
+  World w = build_world(opts, anycast);
+  auto& sim = *w.sim;
+  sim.net().set_route_cache_enabled(cached);
+  RunResult r;
+  if (traced) {
+    sim.add_tap([&r](netsim::TapEvent ev, const netsim::Packet& p) {
+      r.trace_hash = fnv1a(r.trace_hash, static_cast<std::uint64_t>(ev));
+      r.trace_hash = fnv1a(r.trace_hash, p.src.value());
+      r.trace_hash = fnv1a(r.trace_hash, p.dst.value());
+      r.trace_hash = fnv1a(r.trace_hash,
+                           static_cast<std::uint64_t>(p.ttl) << 32 |
+                               std::uint64_t{p.src_port} << 16 | p.dst_port);
+    });
+  }
+  // Paced injection: drain the queue every burst so the event heap
+  // stays scan-sized instead of ballooning to the whole campaign.
+  constexpr std::uint64_t kBurst = 4096;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t p = 0; p < packets; ++p) {
+    netsim::SendOptions send;
+    send.dst = w.targets[p % w.targets.size()];
+    send.src_port = static_cast<std::uint16_t>(40000 + (p & 0xFFF));
+    send.dst_port = 53;
+    send.ttl = 255;
+    sim.send_udp(w.scanner, std::move(send));
+    if ((p + 1) % kBurst == 0) sim.run();
+  }
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.counters = sim.counters();
+  r.cache_stats = sim.net().route_cache_stats();
+  // Router-hop sequences for every (vantage, target) pair, hashed:
+  // cached and uncached runs must agree hop for hop.
+  for (const auto dst : w.targets) {
+    const auto route = sim.net().route_from_as(1, dst);
+    if (!route) continue;
+    r.route_hash = fnv1a(r.route_hash, route->dst_host);
+    for (const auto hop : route->router_hops) {
+      r.route_hash = fnv1a(r.route_hash, hop.value());
+    }
+  }
+  return r;
+}
+
+bool counters_equal(const netsim::SimCounters& a,
+                    const netsim::SimCounters& b) {
+  return a.sent == b.sent && a.delivered == b.delivered &&
+         a.dropped_sav == b.dropped_sav && a.dropped_loss == b.dropped_loss &&
+         a.dropped_no_route == b.dropped_no_route &&
+         a.ttl_expired == b.ttl_expired &&
+         a.icmp_generated == b.icmp_generated && a.redirected == b.redirected;
+}
+
+struct WorkloadReport {
+  std::string name;
+  double uncached_pps = 0.0;
+  double cached_pps = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+WorkloadReport bench_workload(const Opts& opts, const std::string& name,
+                              bool anycast) {
+  WorkloadReport rep;
+  rep.name = name;
+  // Timed passes (no tap in the hot loop); best-of-3 guards against
+  // scheduler noise on shared machines.
+  constexpr int kRepeats = 3;
+  RunResult uncached, cached;
+  for (int rep_i = 0; rep_i < kRepeats; ++rep_i) {
+    auto u = run_workload(opts, anycast, /*cached=*/false, /*traced=*/false,
+                          opts.packets);
+    auto c = run_workload(opts, anycast, /*cached=*/true, /*traced=*/false,
+                          opts.packets);
+    if (rep_i == 0 || u.seconds < uncached.seconds) uncached = std::move(u);
+    if (rep_i == 0 || c.seconds < cached.seconds) cached = std::move(c);
+  }
+  rep.uncached_pps = static_cast<double>(opts.packets) / uncached.seconds;
+  rep.cached_pps = static_cast<double>(opts.packets) / cached.seconds;
+  rep.speedup = rep.cached_pps / rep.uncached_pps;
+  // Verification passes: full trace tap, both modes, must be identical.
+  const std::uint64_t vpackets = std::min<std::uint64_t>(opts.packets, 50000);
+  const auto vu = run_workload(opts, anycast, false, true, vpackets);
+  const auto vc = run_workload(opts, anycast, true, true, vpackets);
+  rep.identical = counters_equal(vu.counters, vc.counters) &&
+                  vu.trace_hash == vc.trace_hash &&
+                  vu.route_hash == vc.route_hash &&
+                  counters_equal(uncached.counters, cached.counters) &&
+                  uncached.route_hash == cached.route_hash;
+  rep.cache_hits = cached.cache_stats.hits;
+  rep.cache_misses = cached.cache_stats.misses;
+  return rep;
+}
+
+void print_report(const WorkloadReport& r) {
+  std::cout << r.name << "\n"
+            << "  uncached: " << static_cast<std::uint64_t>(r.uncached_pps)
+            << " pkts/s\n"
+            << "  cached:   " << static_cast<std::uint64_t>(r.cached_pps)
+            << " pkts/s\n"
+            << "  speedup:  " << r.speedup << "x\n"
+            << "  cache:    " << r.cache_hits << " hits / " << r.cache_misses
+            << " misses\n"
+            << "  determinism (counters + trace + router hops): "
+            << (r.identical ? "identical" : "MISMATCH") << "\n\n";
+}
+
+void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
+  std::ofstream out(opts.json_path);
+  out << "{\n"
+      << "  \"bench\": \"bench_netsim\",\n"
+      << "  \"unit\": \"packets_per_second\",\n"
+      << "  \"config\": {\"packets\": " << opts.packets
+      << ", \"ases\": " << opts.ases << ", \"internal_hops\": " << opts.hops
+      << ", \"dests\": " << opts.dests << ", \"seed\": " << opts.seed
+      << "},\n"
+      << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto& r = reps[i];
+    out << "    {\"name\": \"" << r.name << "\", \"uncached_pps\": "
+        << static_cast<std::uint64_t>(r.uncached_pps)
+        << ", \"cached_pps\": " << static_cast<std::uint64_t>(r.cached_pps)
+        << ", \"speedup\": " << r.speedup
+        << ", \"cache_hits\": " << r.cache_hits
+        << ", \"cache_misses\": " << r.cache_misses
+        << ", \"deterministic\": " << (r.identical ? "true" : "false")
+        << "}" << (i + 1 < reps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Opts opts = Opts::parse(argc, argv);
+  std::cout << "bench_netsim: route-cache fast path (ases=" << opts.ases
+            << " hops=" << opts.hops << " dests=" << opts.dests
+            << " packets=" << opts.packets << " seed=" << opts.seed << ")\n\n";
+
+  std::vector<WorkloadReport> reps;
+  reps.push_back(bench_workload(opts, "repeated_destination_scan",
+                                /*anycast=*/false));
+  reps.push_back(bench_workload(opts, "mixed_anycast", /*anycast=*/true));
+  for (const auto& r : reps) print_report(r);
+
+  if (!opts.json_path.empty()) write_json(opts, reps);
+
+  for (const auto& r : reps) {
+    if (!r.identical) {
+      std::cerr << "FAIL: " << r.name
+                << ": cached and uncached runs diverged\n";
+      return 1;
+    }
+  }
+  if (opts.min_speedup > 0.0 && reps[0].speedup < opts.min_speedup) {
+    std::cerr << "FAIL: repeated_destination_scan speedup " << reps[0].speedup
+              << "x below required " << opts.min_speedup << "x\n";
+    return 2;
+  }
+  return 0;
+}

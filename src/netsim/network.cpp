@@ -43,6 +43,7 @@ AsInfo& Network::add_as(const AsConfig& cfg) {
     router_ip_owner_.emplace(ip, cfg.asn);
   }
   bfs_cache_.clear();
+  bump_epoch();
   return info;
 }
 
@@ -58,6 +59,7 @@ void Network::link(Asn a, Asn b) {
     ia->neighbors.push_back(b);
     ib->neighbors.push_back(a);
     bfs_cache_.clear();
+    bump_epoch();
   }
 }
 
@@ -65,6 +67,11 @@ void Network::announce(Asn asn, Prefix4 prefix) {
   auto* info = find_as_mutable(asn);
   if (info == nullptr) throw std::invalid_argument("announce: unknown ASN");
   info->owned.push_back(prefix);
+  // Deliberately conservative: cached routes never read announced
+  // prefixes today, but "every topology mutation bumps the epoch" is a
+  // simpler invariant to rely on than tracking which mutations the
+  // route computation happens to consume.
+  bump_epoch();
 }
 
 HostId Network::add_host(Asn asn, std::vector<util::Ipv4> addrs) {
@@ -82,6 +89,7 @@ HostId Network::add_host(Asn asn, std::vector<util::Ipv4> addrs) {
     }
   }
   info->hosts.push_back(id);
+  bump_epoch();
   return id;
 }
 
@@ -91,10 +99,12 @@ void Network::add_host_address(HostId id, util::Ipv4 addr) {
     throw std::invalid_argument("address already assigned: " + addr.to_string());
   }
   hosts_[id].addrs.push_back(addr);
+  bump_epoch();
 }
 
 void Network::join_anycast(util::Ipv4 addr, HostId host) {
   anycast_[addr].push_back(host);
+  bump_epoch();
 }
 
 const AsInfo* Network::find_as(Asn asn) const {
@@ -146,11 +156,15 @@ std::optional<Asn> Network::router_owner(util::Ipv4 addr) const {
   return it->second;
 }
 
+bool Network::owns_source(const AsInfo& info, util::Ipv4 src) {
+  return std::any_of(info.owned.begin(), info.owned.end(),
+                     [src](const Prefix4& p) { return p.contains(src); });
+}
+
 bool Network::source_is_legitimate(Asn asn, util::Ipv4 src) const {
   const auto* info = find_as(asn);
   if (info == nullptr) return false;
-  return std::any_of(info->owned.begin(), info->owned.end(),
-                     [src](const Prefix4& p) { return p.contains(src); });
+  return owns_source(*info, src);
 }
 
 const Network::BfsResult& Network::bfs_from(Asn src) const {
@@ -205,19 +219,78 @@ std::optional<Route> Network::route(HostId from, util::Ipv4 dst) const {
   return route_from_as(hosts_[from].asn, dst);
 }
 
-std::optional<Route> Network::route_from_as(Asn from, util::Ipv4 dst) const {
-  const HostId target = resolve_destination(dst, from);
-  if (target == kInvalidHost) return std::nullopt;
-  const Asn dst_as = hosts_[target].asn;
-  Route r;
-  r.dst_host = target;
-  r.as_path = as_path(from, dst_as);
-  if (r.as_path.empty()) return std::nullopt;
-  for (Asn asn : r.as_path) {
+std::shared_ptr<const Network::PathSpan> Network::build_span(Asn from,
+                                                             Asn to) const {
+  auto span = std::make_shared<PathSpan>();
+  span->as_path = as_path(from, to);
+  if (span->as_path.empty()) return nullptr;
+  std::size_t total = 0;
+  for (Asn asn : span->as_path) total += ases_[as_index(asn)].router_ips.size();
+  span->router_hops.reserve(total);
+  for (Asn asn : span->as_path) {
     const auto& info = ases_[as_index(asn)];
-    r.router_hops.insert(r.router_hops.end(), info.router_ips.begin(),
-                         info.router_ips.end());
+    span->router_hops.insert(span->router_hops.end(), info.router_ips.begin(),
+                             info.router_ips.end());
   }
+  return span;
+}
+
+std::shared_ptr<const Network::PathSpan> Network::span_for(Asn from,
+                                                           Asn to) const {
+  const auto key = static_cast<std::uint64_t>(as_index(from)) << 32 |
+                   static_cast<std::uint64_t>(as_index(to));
+  auto& entry = span_cache_[key];
+  if (entry.epoch != epoch_) {
+    entry.epoch = epoch_;
+    entry.span = build_span(from, to);
+  }
+  return entry.span;
+}
+
+void Network::compute_route(RouteEntry& entry, Asn from, util::Ipv4 dst) const {
+  entry.epoch = epoch_;
+  entry.span = nullptr;
+  entry.dst_host = resolve_destination(dst, from);
+  if (entry.dst_host == kInvalidHost) return;
+  const Asn dst_as = hosts_[entry.dst_host].asn;
+  entry.span = route_cache_enabled_ ? span_for(from, dst_as)
+                                    : build_span(from, dst_as);
+}
+
+const Network::RouteEntry& Network::lookup_route(Asn from,
+                                                 util::Ipv4 dst) const {
+  if (!route_cache_enabled_) {
+    compute_route(scratch_route_, from, dst);
+    return scratch_route_;
+  }
+  const auto key = static_cast<std::uint64_t>(from) << 32 |
+                   static_cast<std::uint64_t>(dst.value());
+  auto [it, inserted] = route_cache_.try_emplace(key);
+  RouteEntry& entry = it->second;
+  if (!inserted && entry.epoch == epoch_) {
+    ++cache_stats_.hits;
+    return entry;
+  }
+  if (!inserted) ++cache_stats_.stale_evictions;
+  ++cache_stats_.misses;
+  compute_route(entry, from, dst);
+  return entry;
+}
+
+std::optional<RouteView> Network::route_view(Asn from, util::Ipv4 dst) const {
+  const RouteEntry& entry = lookup_route(from, dst);
+  if (entry.span == nullptr) return std::nullopt;
+  return RouteView{&entry.span->router_hops, &entry.span->as_path,
+                   entry.dst_host};
+}
+
+std::optional<Route> Network::route_from_as(Asn from, util::Ipv4 dst) const {
+  const auto view = route_view(from, dst);
+  if (!view) return std::nullopt;
+  Route r;
+  r.router_hops = *view->router_hops;
+  r.as_path = *view->as_path;
+  r.dst_host = view->dst_host;
   return r;
 }
 

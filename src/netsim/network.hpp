@@ -9,6 +9,7 @@
 // simulating per-router FIBs.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,6 +54,15 @@ struct Route {
   HostId dst_host = kInvalidHost;
 };
 
+/// Route-cache observability: `hits` are served without recomputation,
+/// `misses` fill a fresh entry, `stale_evictions` count entries that
+/// were lazily recomputed because the topology epoch moved past them.
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_evictions = 0;
+};
+
 class Network {
  public:
   Network();
@@ -90,6 +100,9 @@ class Network {
   /// True if `src` is a legitimate source address for traffic leaving
   /// `asn` (i.e. covered by a prefix it announces).
   [[nodiscard]] bool source_is_legitimate(Asn asn, util::Ipv4 src) const;
+  /// Same check against an already-resolved AsInfo — lets the per-packet
+  /// SAV path reuse the `find_as` lookup it has already paid for.
+  [[nodiscard]] static bool owns_source(const AsInfo& info, util::Ipv4 src);
 
   /// AS-level distance (hop count) between two ASes; -1 if unreachable.
   [[nodiscard]] int as_distance(Asn from, Asn to) const;
@@ -103,6 +116,35 @@ class Network {
   [[nodiscard]] std::optional<Route> route_from_as(Asn from,
                                                    util::Ipv4 dst) const;
 
+  /// Zero-copy route lookup for the per-packet hot path. The returned
+  /// view borrows the cached hop/AS-path vectors; it stays valid until
+  /// the next topology mutation (or, with the cache disabled, the next
+  /// route lookup). Routing decisions are byte-identical to `route()`.
+  [[nodiscard]] std::optional<RouteView> route_view(Asn from,
+                                                    util::Ipv4 dst) const;
+
+  /// A/B switch for benchmarking and equivalence tests: with the cache
+  /// off, every lookup recomputes the route from scratch (the pre-cache
+  /// behaviour). Routing results are identical either way.
+  void set_route_cache_enabled(bool enabled) {
+    route_cache_enabled_ = enabled;
+    if (!enabled) {
+      route_cache_.clear();
+      span_cache_.clear();
+    }
+  }
+  [[nodiscard]] bool route_cache_enabled() const {
+    return route_cache_enabled_;
+  }
+  /// Monotonic counter bumped by every topology mutation (`add_as`,
+  /// `link`, `announce`, `add_host`, `add_host_address`,
+  /// `join_anycast`). Cache entries tagged with an older epoch are
+  /// recomputed lazily on their next lookup.
+  [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
+  [[nodiscard]] const RouteCacheStats& route_cache_stats() const {
+    return cache_stats_;
+  }
+
   /// All announced prefixes with their origin ASN (synthetic
   /// Routeviews dump source).
   [[nodiscard]] std::vector<std::pair<Prefix4, Asn>> announced_prefixes() const;
@@ -113,10 +155,37 @@ class Network {
     std::vector<std::uint32_t> parent; // AS index of predecessor
   };
 
+  /// Precomputed router-hop span for one (source AS, destination AS)
+  /// pair: the AS path plus the concatenation of every traversed AS's
+  /// internal router chain. Shared (via shared_ptr) by all route-cache
+  /// entries whose destinations live in the same AS.
+  struct PathSpan {
+    std::vector<Asn> as_path;
+    std::vector<util::Ipv4> router_hops;
+  };
+  struct SpanEntry {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const PathSpan> span;  // nullptr: no AS path
+  };
+  struct RouteEntry {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const PathSpan> span;  // nullptr: unroutable
+    HostId dst_host = kInvalidHost;
+  };
+
   [[nodiscard]] std::size_t as_index(Asn asn) const;
   const BfsResult& bfs_from(Asn src) const;
   [[nodiscard]] std::vector<Asn> as_path(Asn from, Asn to) const;
   util::Ipv4 allocate_router_ip();
+  void bump_epoch() { ++epoch_; }
+  /// Builds the concatenated hop span for an AS pair (uncached).
+  [[nodiscard]] std::shared_ptr<const PathSpan> build_span(Asn from,
+                                                           Asn to) const;
+  /// Span for an AS pair, via the epoch-tagged span cache.
+  std::shared_ptr<const PathSpan> span_for(Asn from, Asn to) const;
+  /// Fills `entry` with a freshly computed route (stamps the epoch).
+  void compute_route(RouteEntry& entry, Asn from, util::Ipv4 dst) const;
+  const RouteEntry& lookup_route(Asn from, util::Ipv4 dst) const;
 
   std::vector<AsInfo> ases_;
   std::vector<Asn> asn_order_;
@@ -127,6 +196,17 @@ class Network {
   std::unordered_map<util::Ipv4, Asn> router_ip_owner_;
   util::Ipv4 next_router_ip_;
   mutable std::unordered_map<Asn, BfsResult> bfs_cache_;
+
+  std::uint64_t epoch_ = 1;
+  bool route_cache_enabled_ = true;
+  // (source ASN << 32 | destination IP) -> cached route; stale entries
+  // (epoch mismatch) are recomputed in place on their next lookup.
+  mutable std::unordered_map<std::uint64_t, RouteEntry> route_cache_;
+  // (source AS index << 32 | destination AS index) -> hop span.
+  mutable std::unordered_map<std::uint64_t, SpanEntry> span_cache_;
+  // Scratch entry used when the cache is disabled (uncached baseline).
+  mutable RouteEntry scratch_route_;
+  mutable RouteCacheStats cache_stats_;
 };
 
 }  // namespace odns::netsim

@@ -11,7 +11,13 @@ void Simulator::run() { events_.run(); }
 
 void Simulator::run_until(util::SimTime deadline) { events_.run(deadline); }
 
-Simulator::HostState& Simulator::state(HostId id) { return host_state_[id]; }
+Simulator::HostState& Simulator::state(HostId id) {
+  // HostIds are dense (allocated by Network::add_host); a sentinel or
+  // garbage id would turn the resize below into a giant allocation.
+  assert(id != kInvalidHost);
+  if (id >= host_state_.size()) host_state_.resize(id + 1);
+  return host_state_[id];
+}
 
 void Simulator::bind_udp(HostId host, std::uint16_t port, App* app) {
   assert(app != nullptr);
@@ -40,10 +46,11 @@ void Simulator::remove_port_redirect(HostId host, std::uint16_t dst_port) {
 }
 
 std::uint64_t Simulator::redirect_relays(HostId host) const {
-  auto it = host_state_.find(host);
-  if (it == host_state_.end()) return 0;
+  if (host >= host_state_.size()) return 0;
   std::uint64_t total = 0;
-  for (const auto& [port, rule] : it->second.redirects) total += rule.relays;
+  for (const auto& [port, rule] : host_state_[host].redirects) {
+    total += rule.relays;
+  }
   return total;
 }
 
@@ -91,7 +98,7 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
   if (!from_router) {
     const auto* info = net_.find_as(origin_as);
     if (info != nullptr && info->cfg.source_address_validation &&
-        !net_.source_is_legitimate(origin_as, pkt.src)) {
+        !Network::owns_source(*info, pkt.src)) {
       ++counters_.dropped_sav;
       emit(TapEvent::dropped_sav, pkt);
       return;
@@ -104,19 +111,21 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
     return;
   }
 
-  auto route = net_.route_from_as(origin_as, pkt.dst);
+  // Cached zero-copy lookup: the view borrows the cache's hop vector,
+  // which stays valid for the rest of this (synchronous) function.
+  const auto route = net_.route_view(origin_as, pkt.dst);
   if (!route) {
     ++counters_.dropped_no_route;
     emit(TapEvent::dropped_no_route, pkt);
     return;
   }
 
-  const int hops = static_cast<int>(route->router_hops.size());
+  const int hops = static_cast<int>(route->router_hops->size());
   if (pkt.ttl <= hops) {
     // TTL reaches zero at router index pkt.ttl (1-based) along the path.
     const int expiring = pkt.ttl;
-    const util::Ipv4 router = route->router_hops[
-        static_cast<std::size_t>(expiring - 1)];
+    const util::Ipv4 router =
+        (*route->router_hops)[static_cast<std::size_t>(expiring - 1)];
     const auto router_as = net_.router_owner(router);
     ++counters_.ttl_expired;
     emit(TapEvent::ttl_expired, pkt);
@@ -141,8 +150,7 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
 void Simulator::deliver(Packet pkt, HostId host) {
   ++counters_.delivered;
   emit(TapEvent::delivered, pkt);
-  auto it = host_state_.find(host);
-  HostState* st = it == host_state_.end() ? nullptr : &it->second;
+  HostState* st = find_state(host);
   const Host& h = net_.host(host);
 
   if (pkt.proto == Protocol::icmp) {

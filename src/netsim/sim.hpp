@@ -133,7 +133,12 @@ class Simulator {
     std::unordered_map<std::uint16_t, Redirect> redirects;
   };
 
+  /// Grows the dense host-state table on demand and returns the slot.
   HostState& state(HostId id);
+  /// O(1) indexed lookup; nullptr for hosts that never had state set.
+  [[nodiscard]] HostState* find_state(HostId id) {
+    return id < host_state_.size() ? &host_state_[id] : nullptr;
+  }
   void emit(TapEvent ev, const Packet& pkt);
   /// Injects a packet into the network from `origin_as`. `from_router`
   /// marks infrastructure-originated traffic (ICMP), which is exempt
@@ -147,7 +152,10 @@ class Simulator {
   Network net_;
   EventQueue events_;
   util::Rng rng_;
-  std::unordered_map<HostId, HostState> host_state_;
+  // Dense per-host state indexed by HostId (host ids are allocated
+  // contiguously by Network::add_host), so deliver() and the redirect
+  // path index in O(1) instead of hashing per packet.
+  std::vector<HostState> host_state_;
   std::vector<Tap> taps_;
   SimCounters counters_;
 };

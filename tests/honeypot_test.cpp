@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/census.hpp"
 #include "honeypot/lab.hpp"
 #include "scan/campaigns.hpp"
@@ -17,42 +19,37 @@ using util::Prefix;
 /// The §3 controlled experiment: a real (small) world with public
 /// resolvers, the sensor lab attached, and the three campaign models
 /// scanning it from separate vantage networks.
+///
+/// Each TEST builds its own world (per-test SetUp, not SetUpTestSuite),
+/// so the cases share no accumulated state and CTest can register and
+/// parallelise them individually (gtest_discover_tests).
 class ControlledExperiment : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() {
+  void SetUp() override {
     topo::TopologyConfig cfg;
     cfg.scale = 0.001;
     cfg.max_countries = 3;  // tiny but complete world
     cfg.seed = 31;
-    world_ = topo::TopologyBuilder::build(cfg).release();
-    lab_ = new SensorLab(deploy_sensor_lab(
+    world_ = topo::TopologyBuilder::build(cfg);
+    lab_ = std::make_unique<SensorLab>(deploy_sensor_lab(
         *world_, Prefix{Ipv4{203, 0, 113, 0}, 24}, Ipv4{8, 8, 8, 8}));
-  }
-  static void TearDownTestSuite() {
-    delete lab_;
-    delete world_;
-    lab_ = nullptr;
-    world_ = nullptr;
   }
 
   /// All four sensor-facing addresses.
-  static std::vector<Ipv4> sensor_targets() {
+  std::vector<Ipv4> sensor_targets() const {
     return {lab_->sensor1_addr, lab_->sensor2_recv_addr,
             lab_->sensor2_send_addr, lab_->sensor3_addr};
   }
 
-  static std::unique_ptr<scan::StatelessCampaign> run_campaign(
-      CampaignKind kind, Ipv4 vantage_base) {
+  std::unique_ptr<scan::StatelessCampaign> run_campaign(CampaignKind kind,
+                                                        Ipv4 vantage_base) {
     return core::run_campaign(*world_, kind, Prefix{vantage_base, 24},
                               sensor_targets());
   }
 
-  static topo::Deployment* world_;
-  static SensorLab* lab_;
+  std::unique_ptr<topo::Deployment> world_;
+  std::unique_ptr<SensorLab> lab_;
 };
-
-topo::Deployment* ControlledExperiment::world_ = nullptr;
-SensorLab* ControlledExperiment::lab_ = nullptr;
 
 TEST_F(ControlledExperiment, Table3ShadowserverRow) {
   const auto campaign =
@@ -105,6 +102,9 @@ TEST_F(ControlledExperiment, TransactionalScanFindsAllThreeSensors) {
 }
 
 TEST_F(ControlledExperiment, Sensor3NeverSeesTheAnswer) {
+  // Drive traffic through the exterior forwarder ourselves (the fixture
+  // is per-test now, so no earlier campaign has touched it).
+  run_campaign(CampaignKind::shadowserver, Ipv4{198, 18, 1, 0});
   EXPECT_GT(lab_->sensor3->relayed(), 0u);
   // The sensor relays queries but receives no responses back.
   EXPECT_EQ(lab_->sensor3->counters().responses_in, 0u);

@@ -396,6 +396,144 @@ TEST(SimulatorLoss, LossRateDropsRoughlyProportionally) {
   EXPECT_EQ(sim.counters().dropped_loss + sink.received.size(), 1000u);
 }
 
+// ---------------------------------------------------------------------
+// Route cache: epoch invalidation and cached/uncached equivalence
+// ---------------------------------------------------------------------
+
+TEST_F(NetworkFixture, RouteCacheHitsOnRepeatAndInvalidatesOnLink) {
+  const auto epoch0 = net().topology_epoch();
+  const auto r1 = net().route(a_, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r1->as_path, (std::vector<Asn>{1, 2, 3}));
+
+  const auto hits_before = net().route_cache_stats().hits;
+  const auto r2 = net().route(a_, Ipv4{10, 3, 0, 1});
+  EXPECT_GT(net().route_cache_stats().hits, hits_before);
+  EXPECT_EQ(r2->router_hops, r1->router_hops);
+
+  // A direct 1--3 link must be observed immediately: no stale cache hit.
+  net().link(1, 3);
+  EXPECT_GT(net().topology_epoch(), epoch0);
+  const auto r3 = net().route(a_, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->as_path, (std::vector<Asn>{1, 3}));
+  EXPECT_EQ(r3->router_hops.size(), 2u);  // AS1 (1 hop) + AS3 (1 hop)
+  EXPECT_GE(net().route_cache_stats().stale_evictions, 1u);
+}
+
+TEST_F(NetworkFixture, RouteCacheInvalidatedByHostAnycastAndAnnounce) {
+  // Warm a negative entry: nothing owns the address yet.
+  const Ipv4 any{9, 9, 9, 9};
+  EXPECT_FALSE(net().route(a_, any).has_value());
+
+  // add_host + join_anycast must flip that negative entry.
+  const auto m3 = net().add_host(3, {Ipv4{10, 3, 0, 9}});
+  net().join_anycast(any, m3);
+  auto r = net().route(a_, any);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->dst_host, m3);
+
+  // A strictly closer member joining later wins the next lookup.
+  const auto m2 = net().add_host(2, {Ipv4{10, 2, 0, 9}});
+  net().join_anycast(any, m2);
+  r = net().route(a_, any);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->dst_host, m2);
+
+  // announce() bumps the epoch too — conservatively, so the epoch
+  // invariant stays "any mutation invalidates" rather than tracking
+  // which mutations routing consumes.
+  const auto epoch_before = net().topology_epoch();
+  net().announce(2, Prefix{Ipv4{10, 2, 0, 0}, 16});
+  EXPECT_GT(net().topology_epoch(), epoch_before);
+  EXPECT_TRUE(net().source_is_legitimate(2, Ipv4{10, 2, 5, 5}));
+}
+
+TEST_F(NetworkFixture, RouteViewBorrowsCacheStorage) {
+  const auto view = net().route_view(1, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(view.has_value());
+  const auto full = net().route_from_as(1, Ipv4{10, 3, 0, 1});
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*view->router_hops, full->router_hops);
+  EXPECT_EQ(*view->as_path, full->as_path);
+  EXPECT_EQ(view->dst_host, full->dst_host);
+  // A repeat lookup is a cache hit onto the same underlying vectors.
+  const auto view2 = net().route_view(1, Ipv4{10, 3, 0, 1});
+  EXPECT_EQ(view->router_hops, view2->router_hops);
+  EXPECT_EQ(view->as_path, view2->as_path);
+}
+
+TEST(RouteCache, CachedMatchesUncachedOnRandomizedTopology) {
+  util::Rng rng(20211207);
+  Simulator sim;
+  Network& net = sim.net();
+  constexpr int kAses = 24;
+  for (int i = 1; i <= kAses; ++i) {
+    AsConfig cfg;
+    cfg.asn = static_cast<Asn>(i);
+    cfg.internal_hops = rng.uniform_int(1, 4);
+    net.add_as(cfg);
+  }
+  // Random connected core over ASes 1..kAses-2; the last two ASes stay
+  // isolated so unreachable destinations are exercised as well.
+  for (int i = 2; i <= kAses - 2; ++i) {
+    net.link(static_cast<Asn>(i),
+             static_cast<Asn>(rng.uniform_int(1, i - 1)));
+  }
+  for (int e = 0; e < 10; ++e) {
+    net.link(static_cast<Asn>(rng.uniform_int(1, kAses - 2)),
+             static_cast<Asn>(rng.uniform_int(1, kAses - 2)));
+  }
+  std::vector<Ipv4> dsts;
+  for (int i = 1; i <= kAses; ++i) {
+    const Ipv4 addr{10, static_cast<std::uint8_t>(i), 0, 1};
+    net.add_host(static_cast<Asn>(i), {addr});
+    dsts.push_back(addr);
+  }
+  const Ipv4 any{9, 9, 9, 9};
+  net.join_anycast(any, net.add_host(3, {Ipv4{10, 3, 9, 9}}));
+  net.join_anycast(any, net.add_host(7, {Ipv4{10, 7, 9, 9}}));
+  net.join_anycast(any, net.add_host(17, {Ipv4{10, 17, 9, 9}}));
+  dsts.push_back(any);
+  dsts.push_back(Ipv4{172, 16, 0, 1});  // nobody owns this
+
+  const auto snapshot = [&](bool cached) {
+    net.set_route_cache_enabled(cached);
+    std::vector<std::optional<Route>> out;
+    for (int from = 1; from <= kAses; ++from) {
+      for (const auto d : dsts) {
+        out.push_back(net.route_from_as(static_cast<Asn>(from), d));
+      }
+    }
+    return out;
+  };
+  const auto expect_identical = [&] {
+    const auto cold = snapshot(true);
+    const auto warm = snapshot(true);  // second pass: all cache hits
+    const auto uncached = snapshot(false);
+    net.set_route_cache_enabled(true);
+    ASSERT_EQ(cold.size(), uncached.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+      ASSERT_EQ(cold[i].has_value(), uncached[i].has_value()) << i;
+      ASSERT_EQ(warm[i].has_value(), uncached[i].has_value()) << i;
+      if (!cold[i].has_value()) continue;
+      EXPECT_EQ(cold[i]->router_hops, uncached[i]->router_hops) << i;
+      EXPECT_EQ(cold[i]->as_path, uncached[i]->as_path) << i;
+      EXPECT_EQ(cold[i]->dst_host, uncached[i]->dst_host) << i;
+      EXPECT_EQ(warm[i]->router_hops, uncached[i]->router_hops) << i;
+      EXPECT_EQ(warm[i]->as_path, uncached[i]->as_path) << i;
+      EXPECT_EQ(warm[i]->dst_host, uncached[i]->dst_host) << i;
+    }
+  };
+  expect_identical();
+  // Mutate (connect an isolated AS, add an anycast member) and
+  // re-verify: no stale entries may survive the epoch bump.
+  net.link(1, static_cast<Asn>(kAses));
+  expect_identical();
+  net.join_anycast(any, net.add_host(kAses, {Ipv4{10, 24, 9, 9}}));
+  expect_identical();
+}
+
 TEST_F(NetworkFixture, TapObservesEvents) {
   std::vector<TapEvent> events;
   sim_.add_tap([&](TapEvent ev, const Packet&) { events.push_back(ev); });
