@@ -1,23 +1,33 @@
-// Routing fast-path benchmark: measures raw netsim packet throughput
-// with the Network route cache disabled (the pre-cache baseline) and
-// enabled, on the two workloads Internet-scale scans generate:
+// Netsim hot-path benchmark: measures raw packet throughput along the
+// repo's two recorded fast paths.
+//
+// Route-cache workloads (Network route cache disabled vs. enabled):
 //
 //  * repeated-destination scan — one vantage host re-probing a fixed
 //    set of unicast targets, the shape of every §3/§4 scan campaign;
 //  * mixed anycast — half the targets are anycast groups, exercising
 //    the nearest-PoP resolution path (public resolvers à la 8.8.8.8).
 //
+// Scheduler-stress workloads (legacy closure event engine vs. the
+// typed event pool, docs/event-engine.md; route cache enabled in both):
+//
+//  * sched burst — whole campaigns injected back-to-back at one
+//    timestamp, so delivery legs land in huge same-time batches;
+//  * sched timer mix — half the probes fire from long-horizon timers
+//    spread over seconds of simulated time, keeping the heap deep
+//    while bursts pile onto the near edge.
+//
 // Besides timing, every workload is re-run with a packet-trace tap in
 // both modes and the traces, counters, and router-hop sequences are
-// required to be byte-identical — the cache must never change a routing
+// required to be byte-identical — a fast path must never change a
 // decision, only the cost of making it. Results are recorded at the
 // repo root as BENCH_netsim.json (see docs/benchmarks.md).
 //
 // usage: bench_netsim [--packets=N] [--ases=N] [--hops=N] [--dests=N]
 //                     [--seed=N] [--json=FILE] [--min-speedup=F]
 //
-// Exits 1 on a determinism violation, 2 when the repeated-destination
-// speedup falls below --min-speedup (CI's loud perf-regression gate).
+// Exits 1 on a determinism violation, 2 when any workload's speedup
+// falls below --min-speedup (CI's loud perf-regression gate).
 
 #include <chrono>
 #include <cstdint>
@@ -170,6 +180,30 @@ struct RunResult {
   double seconds = 0.0;
 };
 
+void attach_trace_tap(Simulator& sim, RunResult& r) {
+  sim.add_tap([&r](netsim::TapEvent ev, const netsim::Packet& p) {
+    r.trace_hash = fnv1a(r.trace_hash, static_cast<std::uint64_t>(ev));
+    r.trace_hash = fnv1a(r.trace_hash, p.src.value());
+    r.trace_hash = fnv1a(r.trace_hash, p.dst.value());
+    r.trace_hash = fnv1a(r.trace_hash,
+                         static_cast<std::uint64_t>(p.ttl) << 32 |
+                             std::uint64_t{p.src_port} << 16 | p.dst_port);
+  });
+}
+
+void hash_routes(Simulator& sim, const World& w, RunResult& r) {
+  // Router-hop sequences for every (vantage, target) pair, hashed:
+  // both sides of an A/B must agree hop for hop.
+  for (const auto dst : w.targets) {
+    const auto route = sim.net().route_from_as(1, dst);
+    if (!route) continue;
+    r.route_hash = fnv1a(r.route_hash, route->dst_host);
+    for (const auto hop : route->router_hops) {
+      r.route_hash = fnv1a(r.route_hash, hop.value());
+    }
+  }
+}
+
 /// Sends `packets` probes round-robin over the targets and drains the
 /// event queue. The timed section covers injection + routing + delivery
 /// — the full per-packet fast path.
@@ -179,16 +213,7 @@ RunResult run_workload(const Opts& opts, bool anycast, bool cached,
   auto& sim = *w.sim;
   sim.net().set_route_cache_enabled(cached);
   RunResult r;
-  if (traced) {
-    sim.add_tap([&r](netsim::TapEvent ev, const netsim::Packet& p) {
-      r.trace_hash = fnv1a(r.trace_hash, static_cast<std::uint64_t>(ev));
-      r.trace_hash = fnv1a(r.trace_hash, p.src.value());
-      r.trace_hash = fnv1a(r.trace_hash, p.dst.value());
-      r.trace_hash = fnv1a(r.trace_hash,
-                           static_cast<std::uint64_t>(p.ttl) << 32 |
-                               std::uint64_t{p.src_port} << 16 | p.dst_port);
-    });
-  }
+  if (traced) attach_trace_tap(sim, r);
   // Paced injection: drain the queue every burst so the event heap
   // stays scan-sized instead of ballooning to the whole campaign.
   constexpr std::uint64_t kBurst = 4096;
@@ -207,16 +232,85 @@ RunResult run_workload(const Opts& opts, bool anycast, bool cached,
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.counters = sim.counters();
   r.cache_stats = sim.net().route_cache_stats();
-  // Router-hop sequences for every (vantage, target) pair, hashed:
-  // cached and uncached runs must agree hop for hop.
-  for (const auto dst : w.targets) {
-    const auto route = sim.net().route_from_as(1, dst);
-    if (!route) continue;
-    r.route_hash = fnv1a(r.route_hash, route->dst_host);
-    for (const auto hop : route->router_hops) {
-      r.route_hash = fnv1a(r.route_hash, hop.value());
-    }
+  hash_routes(sim, w, r);
+  return r;
+}
+
+/// Fires one probe per timer event — the long-horizon half of the
+/// scheduler-stress mix (in legacy mode the engine wraps these in
+/// closures, reproducing the pre-pool timer cost).
+class ProbeTimer : public netsim::TimerTarget {
+ public:
+  ProbeTimer(Simulator& sim, const World& w) : sim_(&sim), w_(&w) {}
+  void on_timer(std::uint64_t target_idx, std::uint64_t src_port) override {
+    netsim::SendOptions send;
+    send.dst = w_->targets[target_idx];
+    send.src_port = static_cast<std::uint16_t>(src_port);
+    send.dst_port = 53;
+    send.ttl = 255;
+    sim_->send_udp(w_->scanner, std::move(send));
   }
+
+ private:
+  Simulator* sim_;
+  const World* w_;
+};
+
+/// Scheduler-stress workloads. Both shapes keep the event heap loaded
+/// with the whole campaign so per-event scheduling cost dominates;
+/// `typed` selects the pooled engine vs. the legacy closure engine.
+///
+/// Burst (timer_mix=false): every probe is injected back-to-back at
+/// one instant and a single drain executes the campaign — delivery
+/// legs land in huge same-timestamp batches.
+///
+/// Timer mix (timer_mix=true): probes are paced in 1 ms slots, and
+/// every probe arms a timeout timer at slot + 3 s that fires a retry
+/// probe — the exact shape the transactional scanner and resolver put
+/// on the scheduler (long-horizon timers inheriting the pacing's
+/// clustering). Deliveries stay pending across slots, so the heap
+/// holds bursts, deliveries, and a 3-second timer horizon at once.
+RunResult run_sched_workload(const Opts& opts, bool timer_mix, bool typed,
+                             bool traced, std::uint64_t packets) {
+  World w = build_world(opts, /*anycast=*/false);
+  auto& sim = *w.sim;
+  sim.set_typed_events_enabled(typed);
+  RunResult r;
+  if (traced) attach_trace_tap(sim, r);
+  ProbeTimer timer(sim, w);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto send_probe = [&](std::uint64_t p) {
+    netsim::SendOptions send;
+    send.dst = w.targets[p % w.targets.size()];
+    send.src_port = static_cast<std::uint16_t>(40000 + (p & 0xFFF));
+    send.dst_port = 53;
+    send.ttl = 255;
+    sim.send_udp(w.scanner, std::move(send));
+  };
+  if (timer_mix) {
+    constexpr std::uint64_t kSlotBurst = 4096;
+    const std::uint64_t direct = packets / 2;  // the rest are retries
+    for (std::uint64_t sent = 0; sent < direct;) {
+      const std::uint64_t n = std::min(kSlotBurst, direct - sent);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t p = sent + i;
+        send_probe(p);
+        sim.schedule_timer(util::Duration::seconds(3), &timer,
+                           p % w.targets.size(), 40000 + (p & 0xFFF));
+      }
+      sent += n;
+      // Advance one pacing slot without draining the in-flight
+      // deliveries (they are 1.5–50 ms out) or the timer horizon.
+      sim.run_until(sim.now() + util::Duration::millis(1));
+    }
+  } else {
+    for (std::uint64_t p = 0; p < packets; ++p) send_probe(p);
+  }
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.counters = sim.counters();
+  hash_routes(sim, w, r);
   return r;
 }
 
@@ -229,59 +323,92 @@ bool counters_equal(const netsim::SimCounters& a,
          a.icmp_generated == b.icmp_generated && a.redirected == b.redirected;
 }
 
+/// One A/B row. The labels name the two modes being compared so the
+/// JSON keys stay self-describing: "uncached"/"cached" for the route-
+/// cache rows, "closure"/"typed" for the scheduler rows.
 struct WorkloadReport {
   std::string name;
-  double uncached_pps = 0.0;
-  double cached_pps = 0.0;
+  std::string baseline_label;
+  std::string fast_label;
+  double baseline_pps = 0.0;
+  double fast_pps = 0.0;
   double speedup = 0.0;
   bool identical = false;
+  bool has_cache_stats = false;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
 };
 
-WorkloadReport bench_workload(const Opts& opts, const std::string& name,
-                              bool anycast) {
+/// Shared A/B scaffolding: times both modes (no tap in the hot loop,
+/// best-of-3 to guard against scheduler noise on shared machines),
+/// then re-runs both with a full trace tap and requires the traced
+/// pair AND the timed pair to be byte-identical. `run(fast, traced,
+/// packets)` executes one workload pass in the given mode.
+template <typename RunFn>
+WorkloadReport ab_workload(const Opts& opts, const std::string& name,
+                           const std::string& baseline_label,
+                           const std::string& fast_label, RunFn run) {
+  constexpr int kRepeats = 3;
   WorkloadReport rep;
   rep.name = name;
-  // Timed passes (no tap in the hot loop); best-of-3 guards against
-  // scheduler noise on shared machines.
-  constexpr int kRepeats = 3;
-  RunResult uncached, cached;
+  rep.baseline_label = baseline_label;
+  rep.fast_label = fast_label;
+  RunResult baseline, fast;
   for (int rep_i = 0; rep_i < kRepeats; ++rep_i) {
-    auto u = run_workload(opts, anycast, /*cached=*/false, /*traced=*/false,
-                          opts.packets);
-    auto c = run_workload(opts, anycast, /*cached=*/true, /*traced=*/false,
-                          opts.packets);
-    if (rep_i == 0 || u.seconds < uncached.seconds) uncached = std::move(u);
-    if (rep_i == 0 || c.seconds < cached.seconds) cached = std::move(c);
+    auto b = run(/*fast=*/false, /*traced=*/false, opts.packets);
+    auto f = run(/*fast=*/true, /*traced=*/false, opts.packets);
+    if (rep_i == 0 || b.seconds < baseline.seconds) baseline = std::move(b);
+    if (rep_i == 0 || f.seconds < fast.seconds) fast = std::move(f);
   }
-  rep.uncached_pps = static_cast<double>(opts.packets) / uncached.seconds;
-  rep.cached_pps = static_cast<double>(opts.packets) / cached.seconds;
-  rep.speedup = rep.cached_pps / rep.uncached_pps;
-  // Verification passes: full trace tap, both modes, must be identical.
+  rep.baseline_pps = static_cast<double>(opts.packets) / baseline.seconds;
+  rep.fast_pps = static_cast<double>(opts.packets) / fast.seconds;
+  rep.speedup = rep.fast_pps / rep.baseline_pps;
   const std::uint64_t vpackets = std::min<std::uint64_t>(opts.packets, 50000);
-  const auto vu = run_workload(opts, anycast, false, true, vpackets);
-  const auto vc = run_workload(opts, anycast, true, true, vpackets);
-  rep.identical = counters_equal(vu.counters, vc.counters) &&
-                  vu.trace_hash == vc.trace_hash &&
-                  vu.route_hash == vc.route_hash &&
-                  counters_equal(uncached.counters, cached.counters) &&
-                  uncached.route_hash == cached.route_hash;
-  rep.cache_hits = cached.cache_stats.hits;
-  rep.cache_misses = cached.cache_stats.misses;
+  const auto vb = run(false, true, vpackets);
+  const auto vf = run(true, true, vpackets);
+  rep.identical = counters_equal(vb.counters, vf.counters) &&
+                  vb.trace_hash == vf.trace_hash &&
+                  vb.route_hash == vf.route_hash &&
+                  counters_equal(baseline.counters, fast.counters) &&
+                  baseline.route_hash == fast.route_hash;
+  rep.cache_hits = fast.cache_stats.hits;
+  rep.cache_misses = fast.cache_stats.misses;
   return rep;
+}
+
+WorkloadReport bench_workload(const Opts& opts, const std::string& name,
+                              bool anycast) {
+  WorkloadReport rep = ab_workload(
+      opts, name, "uncached", "cached",
+      [&](bool fast, bool traced, std::uint64_t packets) {
+        return run_workload(opts, anycast, /*cached=*/fast, traced, packets);
+      });
+  rep.has_cache_stats = true;
+  return rep;
+}
+
+WorkloadReport bench_sched_workload(const Opts& opts, const std::string& name,
+                                    bool timer_mix) {
+  return ab_workload(
+      opts, name, "closure", "typed",
+      [&](bool fast, bool traced, std::uint64_t packets) {
+        return run_sched_workload(opts, timer_mix, /*typed=*/fast, traced,
+                                  packets);
+      });
 }
 
 void print_report(const WorkloadReport& r) {
   std::cout << r.name << "\n"
-            << "  uncached: " << static_cast<std::uint64_t>(r.uncached_pps)
-            << " pkts/s\n"
-            << "  cached:   " << static_cast<std::uint64_t>(r.cached_pps)
-            << " pkts/s\n"
-            << "  speedup:  " << r.speedup << "x\n"
-            << "  cache:    " << r.cache_hits << " hits / " << r.cache_misses
-            << " misses\n"
-            << "  determinism (counters + trace + router hops): "
+            << "  " << r.baseline_label << ": "
+            << static_cast<std::uint64_t>(r.baseline_pps) << " pkts/s\n"
+            << "  " << r.fast_label << ":   "
+            << static_cast<std::uint64_t>(r.fast_pps) << " pkts/s\n"
+            << "  speedup:  " << r.speedup << "x\n";
+  if (r.has_cache_stats) {
+    std::cout << "  cache:    " << r.cache_hits << " hits / "
+              << r.cache_misses << " misses\n";
+  }
+  std::cout << "  determinism (counters + trace + router hops): "
             << (r.identical ? "identical" : "MISMATCH") << "\n\n";
 }
 
@@ -297,13 +424,16 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
       << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const auto& r = reps[i];
-    out << "    {\"name\": \"" << r.name << "\", \"uncached_pps\": "
-        << static_cast<std::uint64_t>(r.uncached_pps)
-        << ", \"cached_pps\": " << static_cast<std::uint64_t>(r.cached_pps)
-        << ", \"speedup\": " << r.speedup
-        << ", \"cache_hits\": " << r.cache_hits
-        << ", \"cache_misses\": " << r.cache_misses
-        << ", \"deterministic\": " << (r.identical ? "true" : "false")
+    out << "    {\"name\": \"" << r.name << "\", \"" << r.baseline_label
+        << "_pps\": " << static_cast<std::uint64_t>(r.baseline_pps)
+        << ", \"" << r.fast_label
+        << "_pps\": " << static_cast<std::uint64_t>(r.fast_pps)
+        << ", \"speedup\": " << r.speedup;
+    if (r.has_cache_stats) {
+      out << ", \"cache_hits\": " << r.cache_hits
+          << ", \"cache_misses\": " << r.cache_misses;
+    }
+    out << ", \"deterministic\": " << (r.identical ? "true" : "false")
         << "}" << (i + 1 < reps.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -313,29 +443,35 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
 
 int main(int argc, char** argv) {
   const Opts opts = Opts::parse(argc, argv);
-  std::cout << "bench_netsim: route-cache fast path (ases=" << opts.ases
-            << " hops=" << opts.hops << " dests=" << opts.dests
+  std::cout << "bench_netsim: route-cache + event-engine fast paths (ases="
+            << opts.ases << " hops=" << opts.hops << " dests=" << opts.dests
             << " packets=" << opts.packets << " seed=" << opts.seed << ")\n\n";
 
   std::vector<WorkloadReport> reps;
   reps.push_back(bench_workload(opts, "repeated_destination_scan",
                                 /*anycast=*/false));
   reps.push_back(bench_workload(opts, "mixed_anycast", /*anycast=*/true));
+  reps.push_back(bench_sched_workload(opts, "sched_burst_same_timestamp",
+                                      /*timer_mix=*/false));
+  reps.push_back(bench_sched_workload(opts, "sched_long_horizon_timer_mix",
+                                      /*timer_mix=*/true));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);
 
   for (const auto& r : reps) {
     if (!r.identical) {
-      std::cerr << "FAIL: " << r.name
-                << ": cached and uncached runs diverged\n";
+      std::cerr << "FAIL: " << r.name << ": " << r.fast_label << " and "
+                << r.baseline_label << " runs diverged\n";
       return 1;
     }
   }
-  if (opts.min_speedup > 0.0 && reps[0].speedup < opts.min_speedup) {
-    std::cerr << "FAIL: repeated_destination_scan speedup " << reps[0].speedup
-              << "x below required " << opts.min_speedup << "x\n";
-    return 2;
+  for (const auto& r : reps) {
+    if (opts.min_speedup > 0.0 && r.speedup < opts.min_speedup) {
+      std::cerr << "FAIL: " << r.name << " speedup " << r.speedup
+                << "x below required " << opts.min_speedup << "x\n";
+      return 2;
+    }
   }
   return 0;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when a markdown file under docs/ or the README links
+# to a relative path that does not exist. External links (http/https/
+# mailto) and pure #fragments are skipped; a #fragment on a relative
+# link is checked against the file part only. Run from anywhere inside
+# the repo; CI runs it as a build gate.
+set -u
+
+cd "$(dirname "$0")/.."
+
+status=0
+# shellcheck disable=SC2207
+files=(README.md $(find docs -name '*.md' | sort))
+
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Inline markdown links: [text](target). One match per line is
+  # enough to catch every dead target in practice; multi-link lines
+  # are split by the global grep -o.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "DEAD LINK: $file -> $target"
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/^\[[^]]*\](//; s/)$//')
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "doc-link check failed: fix the targets above."
+else
+  echo "doc-link check passed (${#files[@]} files)."
+fi
+exit "$status"

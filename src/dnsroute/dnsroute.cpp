@@ -58,6 +58,10 @@ void DnsroutePlusPlus::send_probe(std::size_t target_idx, int ttl) {
   sim_->send_udp(host_, std::move(opts));
 }
 
+void DnsroutePlusPlus::on_timer(std::uint64_t target_idx, std::uint64_t ttl) {
+  send_probe(static_cast<std::size_t>(target_idx), static_cast<int>(ttl));
+}
+
 std::vector<TracePath> DnsroutePlusPlus::run(
     const std::vector<util::Ipv4>& targets) {
   paths_.clear();
@@ -71,7 +75,7 @@ std::vector<TracePath> DnsroutePlusPlus::run(
   util::Duration at = util::Duration::nanos(0);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     for (int ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
-      sim_->schedule(at, [this, i, ttl]() { send_probe(i, ttl); });
+      sim_->schedule_timer(at, this, i, static_cast<std::uint64_t>(ttl));
       at = at + gap;
     }
   }

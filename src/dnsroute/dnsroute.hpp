@@ -57,7 +57,7 @@ struct TracePath {
   [[nodiscard]] std::vector<util::Ipv4> hop_addrs() const;
 };
 
-class DnsroutePlusPlus : public netsim::App {
+class DnsroutePlusPlus : public netsim::App, public netsim::TimerTarget {
  public:
   DnsroutePlusPlus(netsim::Simulator& sim, netsim::HostId host,
                    DnsrouteConfig cfg);
@@ -67,6 +67,8 @@ class DnsroutePlusPlus : public netsim::App {
   std::vector<TracePath> run(const std::vector<util::Ipv4>& targets);
 
   void on_datagram(const netsim::Datagram& dgram) override;
+  /// Probe-pacing timer: (target index, TTL) of the probe to emit.
+  void on_timer(std::uint64_t target_idx, std::uint64_t ttl) override;
 
  private:
   void on_icmp(const netsim::Packet& pkt);

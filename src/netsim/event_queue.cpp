@@ -1,37 +1,253 @@
 #include "netsim/event_queue.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace odns::netsim {
 
+// --- calendar buckets ------------------------------------------------
+
+std::uint32_t EventQueue::bucket_for(std::int64_t at_nanos) {
+  CacheEntry& ce = tcache_[cache_slot(at_nanos)];
+  if (ce.at == at_nanos) return ce.bucket;
+  std::uint32_t bidx;
+  if (free_bucket_head_ != kNilIndex) {
+    bidx = free_bucket_head_;
+    free_bucket_head_ = buckets_[bidx].next_free;
+  } else {
+    bidx = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  Bucket& b = buckets_[bidx];
+  b.at_nanos = at_nanos;
+  b.head = 0;
+  // Keyed by (at, seq of the bucket's first event): a cohort split by
+  // cache eviction drains its buckets in creation = sequence order.
+  time_heap_.push_back(TimeRef{at_nanos, next_seq_, bidx});
+  std::push_heap(time_heap_.begin(), time_heap_.end(), TimeLater{});
+  ce.at = at_nanos;
+  ce.bucket = bidx;
+  return bidx;
+}
+
+void EventQueue::retire_top_bucket() {
+  const TimeRef top = time_heap_.front();
+  std::pop_heap(time_heap_.begin(), time_heap_.end(), TimeLater{});
+  time_heap_.pop_back();
+  Bucket& b = buckets_[top.bucket];
+  // Precise cache invalidation: the only cache slot that can reference
+  // this bucket is the one keyed by its timestamp. Without this, a
+  // later schedule at the same timestamp could append to a recycled
+  // bucket.
+  CacheEntry& ce = tcache_[cache_slot(b.at_nanos)];
+  if (ce.at == b.at_nanos && ce.bucket == top.bucket) ce.at = kEmptyKey;
+  b.items.clear();  // capacity retained for the next timestamp
+  b.head = 0;
+  b.next_free = free_bucket_head_;
+  free_bucket_head_ = top.bucket;
+}
+
+// --- event pools -----------------------------------------------------
+
+EventQueue::PacketEvent& EventQueue::acquire_packet(util::SimTime at,
+                                                    Kind kind) {
+  at = clamp(at);
+  std::uint32_t slot;
+  if (packet_free_head_ != kNilIndex) {
+    slot = packet_free_head_;
+    packet_free_head_ = packet_pool_[slot].next_free;
+    --free_count_;
+  } else {
+    slot = static_cast<std::uint32_t>(packet_pool_.size());
+    packet_pool_.emplace_back();
+  }
+  buckets_[bucket_for(at.nanos())].items.push_back(pack_item(kind, slot));
+  ++next_seq_;
+  ++pending_;
+  return packet_pool_[slot];
+}
+
+EventQueue::MiscEvent& EventQueue::acquire_misc(util::SimTime at, Kind kind) {
+  at = clamp(at);
+  std::uint32_t slot;
+  if (misc_free_head_ != kNilIndex) {
+    slot = misc_free_head_;
+    misc_free_head_ = misc_pool_[slot].next_free;
+    --free_count_;
+  } else {
+    slot = static_cast<std::uint32_t>(misc_pool_.size());
+    misc_pool_.emplace_back();
+  }
+  buckets_[bucket_for(at.nanos())].items.push_back(pack_item(kind, slot));
+  ++next_seq_;
+  ++pending_;
+  return misc_pool_[slot];
+}
+
+void EventQueue::release_packet(std::uint32_t slot) {
+  packet_pool_[slot].next_free = packet_free_head_;
+  packet_free_head_ = slot;
+  ++free_count_;
+}
+
+void EventQueue::release_misc(std::uint32_t slot) {
+  MiscEvent& ev = misc_pool_[slot];
+  ev.timer = nullptr;
+  ev.next_free = misc_free_head_;
+  misc_free_head_ = slot;
+  ++free_count_;
+}
+
+// --- scheduling ------------------------------------------------------
+
+void EventQueue::schedule_deliver(util::SimTime at, Packet&& pkt,
+                                  HostId host) {
+  if (legacy_mode_) {
+    // Pre-pool cost model: the whole Packet is captured in a
+    // heap-allocating std::function — the A/B baseline bench_netsim
+    // measures the typed path against.
+    schedule_at(at, [this, pkt = std::move(pkt), host]() mutable {
+      sink_->deliver_event(std::move(pkt), host);
+    });
+    return;
+  }
+  PacketEvent& ev = acquire_packet(at, Kind::deliver);
+  ev.pkt = std::move(pkt);
+  ev.dst_host = host;
+}
+
+void EventQueue::schedule_icmp(util::SimTime at, IcmpType type,
+                               Packet&& offender, util::Ipv4 router,
+                               Asn origin_as) {
+  if (legacy_mode_) {
+    schedule_at(at, [this, type, offender = std::move(offender), router,
+                     origin_as]() mutable {
+      sink_->icmp_event(type, std::move(offender), router, origin_as);
+    });
+    return;
+  }
+  PacketEvent& ev = acquire_packet(at, Kind::icmp);
+  ev.icmp_type = type;
+  ev.pkt = std::move(offender);
+  ev.router = router;
+  ev.origin_as = origin_as;
+}
+
+void EventQueue::schedule_timer(util::SimTime at, TimerTarget* target,
+                                std::uint64_t a, std::uint64_t b) {
+  assert(target != nullptr);
+  if (legacy_mode_) {
+    schedule_at(at, [target, a, b]() { target->on_timer(a, b); });
+    return;
+  }
+  MiscEvent& ev = acquire_misc(at, Kind::timer);
+  ev.timer = target;
+  ev.arg_a = a;
+  ev.arg_b = b;
+}
+
 void EventQueue::schedule_at(util::SimTime at, Action action) {
-  // Events cannot be scheduled in the past; clamp to "now" so that
-  // zero-delay sends still execute in FIFO order.
-  if (at < now_) at = now_;
-  heap_.push(Entry{at, next_seq_++, std::move(action)});
+  if (legacy_mode_) {
+    legacy_heap_.push(LegacyEntry{clamp(at), next_seq_++, std::move(action)});
+    return;
+  }
+  MiscEvent& ev = acquire_misc(at, Kind::closure);
+  ev.closure = std::move(action);
+}
+
+// --- execution -------------------------------------------------------
+
+void EventQueue::dispatch(std::uint32_t item) {
+  // Move the payload out and free the slot BEFORE invoking the handler:
+  // handlers schedule new events, which may grow the pool and would
+  // invalidate any reference still held into it.
+  const auto kind = static_cast<Kind>(item >> 30);
+  const std::uint32_t slot = item & 0x3FFFFFFFu;
+  switch (kind) {
+    case Kind::deliver: {
+      PacketEvent& ev = packet_pool_[slot];
+      Packet pkt = std::move(ev.pkt);
+      const HostId host = ev.dst_host;
+      release_packet(slot);
+      sink_->deliver_event(std::move(pkt), host);
+      return;
+    }
+    case Kind::icmp: {
+      PacketEvent& ev = packet_pool_[slot];
+      Packet offender = std::move(ev.pkt);
+      const IcmpType type = ev.icmp_type;
+      const util::Ipv4 router = ev.router;
+      const Asn origin_as = ev.origin_as;
+      release_packet(slot);
+      sink_->icmp_event(type, std::move(offender), router, origin_as);
+      return;
+    }
+    case Kind::timer: {
+      MiscEvent& ev = misc_pool_[slot];
+      TimerTarget* target = ev.timer;
+      const auto a = ev.arg_a;
+      const auto b = ev.arg_b;
+      release_misc(slot);
+      target->on_timer(a, b);
+      return;
+    }
+    case Kind::closure: {
+      MiscEvent& ev = misc_pool_[slot];
+      Action action = std::move(ev.closure);
+      ev.closure = nullptr;  // drop captures before the slot is reused
+      release_misc(slot);
+      action();
+      return;
+    }
+  }
 }
 
 void EventQueue::step() {
-  assert(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast on the
-  // action only — the entry is popped immediately after.
-  auto& top = const_cast<Entry&>(heap_.top());
-  now_ = top.at;
-  Action action = std::move(top.action);
-  heap_.pop();
+  assert(!empty());
+  if (legacy_mode_) {
+    // priority_queue::top() is const; move out via const_cast on the
+    // action only — the entry is popped immediately after.
+    auto& top = const_cast<LegacyEntry&>(legacy_heap_.top());
+    now_ = top.at;
+    Action action = std::move(top.action);
+    legacy_heap_.pop();
+    ++executed_;
+    action();
+    return;
+  }
+  const TimeRef top = time_heap_.front();
+  Bucket& b = buckets_[top.bucket];
+  const std::uint32_t slot = b.items[b.head++];
+  now_ = util::SimTime::from_nanos(top.at);
+  // Retire the bucket before dispatch: the handler may schedule at
+  // this same timestamp, which then starts a fresh bucket (correctly
+  // ordered after everything the old one held).
+  if (b.head == b.items.size()) retire_top_bucket();
+  --pending_;
   ++executed_;
-  action();
+  dispatch(slot);
+}
+
+std::size_t EventQueue::step_batch() {
+  assert(!empty());
+  const util::SimTime at = peek_at();
+  std::size_t n = 0;
+  // Handlers that schedule at the batch timestamp (zero-delay sends
+  // clamp to it) extend the batch; bucket append order keeps them
+  // after everything already pending, so the total order is unchanged.
+  while (!empty() && peek_at() == at) {
+    step();
+    ++n;
+  }
+  return n;
 }
 
 std::uint64_t EventQueue::run(util::SimTime deadline) {
   std::uint64_t n = 0;
-  while (!heap_.empty() && heap_.top().at <= deadline) {
-    step();
-    ++n;
+  while (!empty() && peek_at() <= deadline) {
+    n += step_batch();
   }
-  constexpr auto kSentinel = std::int64_t{1} << 62;
-  if (now_ < deadline && deadline.nanos() < kSentinel) {
+  if (now_ < deadline && deadline < util::SimTime::far_future()) {
     // The clock advances to an explicit deadline (remaining events are
     // all scheduled later), so timeout logic keyed on now() behaves
     // deterministically.

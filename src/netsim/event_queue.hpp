@@ -1,50 +1,254 @@
 #pragma once
-// Discrete-event core: a time-ordered queue of closures. Ties are broken
-// by insertion sequence so runs are exactly reproducible.
+// Discrete-event core: an allocation-free typed event engine. Events
+// live in kind-segregated slabs with freelist recycling (packet events
+// never touch closure storage) and are ordered by a
+// bucketed calendar-style queue: a binary min-heap over *bucket* refs
+// (one per pending timestamp cohort), each owning a FIFO vector of
+// event slots. A small direct-mapped timestamp cache coalesces events
+// scheduled for the same instant into a shared bucket, so
+// same-timestamp bursts cost O(1) per event instead of O(log n);
+// timestamps that never repeat cost one 24-byte heap entry — no worse
+// than a plain indexed min-heap. The engine preserves the exact
+// (time, sequence) total order of the classic heap, and the per-event
+// hot path performs no heap allocation (event slots and bucket
+// vectors are slab-recycled).
+//
+// The full scheduler contract (total order, tie-breaking, determinism
+// guarantees, pool lifetime rules) and the migration guide from the
+// legacy closure API to typed events live in docs/event-engine.md.
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
+#include "netsim/packet.hpp"
 #include "util/time.hpp"
 
 namespace odns::netsim {
+
+/// Receiver of typed timer events. Implementations interpret the two
+/// argument words themselves (connection keys, generations, target
+/// indices, ...) — the engine only stores and returns them, so a timer
+/// costs two words instead of a heap-allocated closure.
+class TimerTarget {
+ public:
+  virtual ~TimerTarget() = default;
+  virtual void on_timer(std::uint64_t a, std::uint64_t b) = 0;
+};
+
+/// Packet-plane half of the engine: the Simulator implements this so
+/// pooled packet events (delivery, deferred ICMP) dispatch through one
+/// virtual call instead of a per-event closure.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver_event(Packet&& pkt, HostId host) = 0;
+  virtual void icmp_event(IcmpType type, Packet&& offender,
+                          util::Ipv4 router, Asn origin_as) = 0;
+};
 
 class EventQueue {
  public:
   using Action = std::function<void()>;
 
-  /// Schedules `action` at absolute time `at`.
+  /// Wires the packet-plane dispatch target. Must be called before any
+  /// schedule_deliver/schedule_icmp event fires (the Simulator does
+  /// this in its constructor); closure and timer events need no sink.
+  void bind_sink(PacketSink* sink) { sink_ = sink; }
+
+  // --- typed, allocation-free scheduling -----------------------------
+
+  /// Schedules delivery of `pkt` to `host` at absolute time `at`.
+  void schedule_deliver(util::SimTime at, Packet&& pkt, HostId host);
+  /// Schedules deferred ICMP generation (TTL expiry along a route):
+  /// `router` answers `type` about `offender`, originating in
+  /// `origin_as`.
+  void schedule_icmp(util::SimTime at, IcmpType type, Packet&& offender,
+                     util::Ipv4 router, Asn origin_as);
+  /// Schedules `target->on_timer(a, b)` at absolute time `at`.
+  void schedule_timer(util::SimTime at, TimerTarget* target, std::uint64_t a,
+                      std::uint64_t b);
+
+  /// Legacy closure shim: schedules `action` at absolute time `at`.
+  /// Kept for tests, examples, and cold paths; allocates whenever the
+  /// callable outgrows std::function's small-buffer optimisation.
   void schedule_at(util::SimTime at, Action action);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Switches to the pre-pool closure engine (a priority_queue of
+  /// (time, seq, std::function) entries): every typed schedule_* call
+  /// is wrapped in a heap-allocating closure, reproducing the legacy
+  /// per-event cost model. This is bench_netsim's A/B baseline and the
+  /// determinism suite's reference ordering; both modes execute the
+  /// exact same (time, seq) total order. Only valid on an empty queue:
+  /// switching with events pending would strand them in the inactive
+  /// structure, so the request is refused outright (cold path — the
+  /// unconditional check is free).
+  void set_legacy_mode(bool on) {
+    if (!time_heap_.empty() || !legacy_heap_.empty()) {
+      assert(false && "set_legacy_mode with events pending");
+      return;
+    }
+    legacy_mode_ = on;
+  }
+  [[nodiscard]] bool legacy_mode() const { return legacy_mode_; }
+
+  [[nodiscard]] bool empty() const {
+    return legacy_mode_ ? legacy_heap_.empty() : time_heap_.empty();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return legacy_mode_ ? legacy_heap_.size() : pending_;
+  }
   [[nodiscard]] util::SimTime now() const { return now_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Pool introspection (tests): total slots ever allocated (across
+  /// the packet and misc slabs) and how many of them are currently
+  /// free. live events = pool_slots() - free_slots(); a drained queue
+  /// recycles all slots, so steady-state workloads keep pool_slots()
+  /// at their high-water mark.
+  [[nodiscard]] std::size_t pool_slots() const {
+    return packet_pool_.size() + misc_pool_.size();
+  }
+  [[nodiscard]] std::size_t free_slots() const { return free_count_; }
 
   /// Runs the earliest event; advances the clock. Pre: !empty().
   void step();
 
-  /// Runs events until the queue drains or `deadline` is passed.
-  /// Returns the number of events executed.
-  std::uint64_t run(util::SimTime deadline = util::SimTime::from_nanos(
-                        std::int64_t{1} << 62));
+  /// Batch delivery: drains every event at the earliest pending
+  /// timestamp in one pass — including events that handlers schedule
+  /// at that same (clamped) timestamp, which join the batch in
+  /// sequence order. Returns the number executed. Pre: !empty().
+  std::size_t step_batch();
+
+  /// Runs events batch-wise until the queue drains or `deadline` is
+  /// passed. Returns the number of events executed.
+  std::uint64_t run(util::SimTime deadline = util::SimTime::far_future());
 
  private:
-  struct Entry {
-    util::SimTime at;
-    std::uint64_t seq;
-    Action action;
+  enum class Kind : std::uint32_t { deliver = 0, icmp = 1, timer = 2,
+                                    closure = 3 };
+
+  /// Packet-carrying pooled event (delivery or deferred ICMP). Kept in
+  /// its own slab so the hot scan path never touches closure storage:
+  /// the slot is ~2.5× smaller than a combined layout, which matters
+  /// when a whole campaign is pending at once.
+  struct PacketEvent {
+    Packet pkt;
+    HostId dst_host = kInvalidHost;
+    util::Ipv4 router;
+    Asn origin_as = 0;
+    IcmpType icmp_type = IcmpType::ttl_exceeded;
+    std::uint32_t next_free = kNilIndex;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+
+  /// Timer or legacy-closure pooled event.
+  struct MiscEvent {
+    Action closure;
+    TimerTarget* timer = nullptr;
+    std::uint64_t arg_a = 0;
+    std::uint64_t arg_b = 0;
+    std::uint32_t next_free = kNilIndex;
+  };
+
+  /// A cohort of events pending at one timestamp, in insertion
+  /// (= sequence) order. Items carry the event kind in their top bits
+  /// and the slab slot below (see pack_item). `head` advances as the
+  /// batch drains; retired buckets keep their vector capacity on a
+  /// freelist.
+  struct Bucket {
+    std::int64_t at_nanos = 0;
+    std::size_t head = 0;
+    std::uint32_t next_free = kNilIndex;
+    std::vector<std::uint32_t> items;  // packed (kind, slot)
+  };
+
+  /// What the calendar heap orders: (timestamp, first event's seq).
+  /// Several buckets may share a timestamp (cache eviction splits a
+  /// cohort); appends only ever reach the *cached* bucket, so every
+  /// event in an earlier bucket precedes every event in a later one
+  /// and the (at, seq) tie-break restores the exact global order.
+  struct TimeRef {
+    std::int64_t at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t bucket = 0;
+  };
+  struct TimeLater {
+    bool operator()(const TimeRef& a, const TimeRef& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  struct LegacyEntry {
+    util::SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct LegacyLater {
+    bool operator()(const LegacyEntry& a, const LegacyEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::uint32_t kNilIndex = 0xFFFFFFFFu;
+  /// Cache empty-slot marker; unreachable as a timestamp because
+  /// schedule clamps to now() >= 0.
+  static constexpr std::int64_t kEmptyKey = INT64_MIN;
+  static constexpr std::size_t kCacheSize = 256;  // direct-mapped, 4 KiB
+
+  /// Open bucket per recently seen timestamp. An entry is written at
+  /// bucket creation and precisely invalidated at retire, so it can
+  /// never resurrect a recycled bucket.
+  struct CacheEntry {
+    std::int64_t at = kEmptyKey;
+    std::uint32_t bucket = 0;
+  };
+
+  /// Clamps to "now": events cannot be scheduled in the past, and
+  /// zero-delay sends keep FIFO order via bucket append order.
+  [[nodiscard]] util::SimTime clamp(util::SimTime at) const {
+    return at < now_ ? now_ : at;
+  }
+  [[nodiscard]] util::SimTime peek_at() const {
+    return legacy_mode_ ? legacy_heap_.top().at
+                        : util::SimTime::from_nanos(time_heap_.front().at);
+  }
+  [[nodiscard]] static std::size_t cache_slot(std::int64_t at) {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(at) * 0x9E3779B97F4A7C15ull) >> 56);
+  }
+  [[nodiscard]] static std::uint32_t pack_item(Kind kind,
+                                               std::uint32_t slot) {
+    return (static_cast<std::uint32_t>(kind) << 30) | slot;
+  }
+  std::uint32_t bucket_for(std::int64_t at_nanos);
+  PacketEvent& acquire_packet(util::SimTime at, Kind kind);
+  MiscEvent& acquire_misc(util::SimTime at, Kind kind);
+  void release_packet(std::uint32_t slot);
+  void release_misc(std::uint32_t slot);
+  void dispatch(std::uint32_t item);
+  void retire_top_bucket();
+
+  std::vector<PacketEvent> packet_pool_;
+  std::uint32_t packet_free_head_ = kNilIndex;
+  std::vector<MiscEvent> misc_pool_;
+  std::uint32_t misc_free_head_ = kNilIndex;
+  std::size_t free_count_ = 0;
+
+  std::vector<Bucket> buckets_;
+  std::uint32_t free_bucket_head_ = kNilIndex;
+  std::vector<TimeRef> time_heap_;  // via std::push_heap/pop_heap
+  std::array<CacheEntry, kCacheSize> tcache_{};
+  std::size_t pending_ = 0;
+
+  std::priority_queue<LegacyEntry, std::vector<LegacyEntry>, LegacyLater>
+      legacy_heap_;
+  PacketSink* sink_ = nullptr;
+  bool legacy_mode_ = false;
   util::SimTime now_ = util::SimTime::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

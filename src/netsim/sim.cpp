@@ -5,7 +5,18 @@
 
 namespace odns::netsim {
 
-Simulator::Simulator(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+Simulator::Simulator(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  events_.bind_sink(this);
+}
+
+void Simulator::deliver_event(Packet&& pkt, HostId host) {
+  deliver(std::move(pkt), host);
+}
+
+void Simulator::icmp_event(IcmpType type, Packet&& offender, util::Ipv4 router,
+                           Asn origin_as) {
+  send_icmp(type, router, offender, origin_as);
+}
 
 void Simulator::run() { events_.run(); }
 
@@ -129,22 +140,16 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
     const auto router_as = net_.router_owner(router);
     ++counters_.ttl_expired;
     emit(TapEvent::ttl_expired, pkt);
-    Packet offender = std::move(pkt);
     const Asn icmp_origin = router_as.value_or(origin_as);
-    events_.schedule_at(
-        now() + cfg_.hop_latency * expiring,
-        [this, offender = std::move(offender), router, icmp_origin]() {
-          send_icmp(IcmpType::ttl_exceeded, router, offender, icmp_origin);
-        });
+    events_.schedule_icmp(now() + cfg_.hop_latency * expiring,
+                          IcmpType::ttl_exceeded, std::move(pkt), router,
+                          icmp_origin);
     return;
   }
 
   pkt.ttl -= hops;
-  const HostId dst_host = route->dst_host;
-  events_.schedule_at(now() + cfg_.hop_latency * (hops + 1),
-                      [this, pkt = std::move(pkt), dst_host]() mutable {
-                        deliver(std::move(pkt), dst_host);
-                      });
+  events_.schedule_deliver(now() + cfg_.hop_latency * (hops + 1),
+                           std::move(pkt), route->dst_host);
 }
 
 void Simulator::deliver(Packet pkt, HostId host) {

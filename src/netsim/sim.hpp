@@ -8,8 +8,8 @@
 // while preserving exact TTL and ICMP semantics.
 //
 // The static half (AS graph, routing) lives in network.hpp; the event
-// core in event_queue.hpp. docs/architecture.md walks through how a
-// packet traverses all three.
+// core in event_queue.hpp (scheduler contract: docs/event-engine.md).
+// docs/architecture.md walks through how a packet traverses all three.
 
 #include <cstdint>
 #include <functional>
@@ -78,7 +78,7 @@ struct SendOptions {
   std::optional<int> ttl;
 };
 
-class Simulator {
+class Simulator : private PacketSink {
  public:
   explicit Simulator(SimConfig cfg = {});
 
@@ -86,13 +86,32 @@ class Simulator {
   const Network& net() const { return net_; }
 
   [[nodiscard]] util::SimTime now() const { return events_.now(); }
+  /// Legacy closure shim (see docs/event-engine.md for the migration
+  /// guide); hot-path timers should prefer schedule_timer below.
   void schedule(util::Duration delay, EventQueue::Action action) {
     events_.schedule_at(now() + delay, std::move(action));
+  }
+  /// Typed, allocation-free timer: fires target->on_timer(a, b) after
+  /// `delay`. The argument words are the target's to interpret.
+  void schedule_timer(util::Duration delay, TimerTarget* target,
+                      std::uint64_t a, std::uint64_t b = 0) {
+    events_.schedule_timer(now() + delay, target, a, b);
   }
   /// Runs until no events remain (or deadline passes).
   void run();
   void run_until(util::SimTime deadline);
   void run_for(util::Duration d) { run_until(now() + d); }
+
+  /// A/B switch for bench_netsim and the determinism suite: disabling
+  /// typed events routes every scheduled event through the legacy
+  /// closure engine (per-event std::function allocation), reproducing
+  /// the pre-pool cost model. Event order and all observable behaviour
+  /// are identical in both modes. Only valid while no events are
+  /// pending.
+  void set_typed_events_enabled(bool on) { events_.set_legacy_mode(!on); }
+  [[nodiscard]] bool typed_events_enabled() const {
+    return !events_.legacy_mode();
+  }
 
   // --- socket API ----------------------------------------------------
   void bind_udp(HostId host, std::uint16_t port, App* app);
@@ -145,6 +164,10 @@ class Simulator {
   /// from SAV.
   void inject(Packet pkt, Asn origin_as, bool from_router);
   void deliver(Packet pkt, HostId host);
+  // PacketSink: pooled packet events dispatch back into the plane.
+  void deliver_event(Packet&& pkt, HostId host) override;
+  void icmp_event(IcmpType type, Packet&& offender, util::Ipv4 router,
+                  Asn origin_as) override;
   void send_icmp(IcmpType type, util::Ipv4 from, const Packet& offender,
                  Asn origin_as);
 

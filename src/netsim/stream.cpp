@@ -42,21 +42,31 @@ ConnectionPtr StreamEndpoint::connect(util::Ipv4 addr, std::uint16_t port) {
                                : static_cast<std::uint16_t>(next_ephemeral_ + 1);
   conn->initiator = true;
   conn->state = Connection::State::syn_sent;
+  conn->id = next_conn_id_++;
   sim_->bind_udp(host_, conn->local_port, this);
   connections_[key(addr, port, conn->local_port)] = conn;
   transmit(conn, Segment{SegmentKind::syn, {}});
   // A handshake whose SYN-ACK never arrives (or arrived from a peer we
   // do not recognize — the transparent-relay case) must fail loudly.
-  sim_->schedule(connect_timeout_, [this, conn]() {
-    if (conn->state == Connection::State::syn_sent) {
-      conn->state = Connection::State::closed;
-      connections_.erase(
-          key(conn->peer_addr, conn->peer_port, conn->local_port));
-      ++handshakes_rejected_;
-      if (callbacks_.on_error) callbacks_.on_error(conn, "handshake timeout");
-    }
-  });
+  sim_->schedule_timer(connect_timeout_, this,
+                       key(addr, port, conn->local_port), conn->id);
   return conn;
+}
+
+void StreamEndpoint::on_timer(std::uint64_t conn_key, std::uint64_t conn_id) {
+  // Connect timeout. Every erasure path (close, rst, completed
+  // handshake) leaves state != syn_sent, so a stale timer is a no-op;
+  // the id check keeps a reused 4-tuple's new connection safe.
+  auto it = connections_.find(conn_key);
+  if (it == connections_.end()) return;
+  const ConnectionPtr conn = it->second;
+  if (conn->id != conn_id || conn->state != Connection::State::syn_sent) {
+    return;
+  }
+  conn->state = Connection::State::closed;
+  connections_.erase(it);
+  ++handshakes_rejected_;
+  if (callbacks_.on_error) callbacks_.on_error(conn, "handshake timeout");
 }
 
 void StreamEndpoint::send(const ConnectionPtr& conn,

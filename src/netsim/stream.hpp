@@ -48,6 +48,9 @@ struct Connection {
   std::uint16_t peer_port = 0;
   State state = State::syn_sent;
   bool initiator = false;
+  /// Endpoint-unique id; connect timeouts carry it so a 4-tuple key
+  /// reused by a later connection cannot be timed out by a stale timer.
+  std::uint64_t id = 0;
 };
 using ConnectionPtr = std::shared_ptr<Connection>;
 
@@ -67,7 +70,7 @@ struct StreamCallbacks {
 /// A host's connection-oriented endpoint. Register one per host; it
 /// claims a listening port and a range of ephemeral ports via the
 /// simulator's UDP plumbing.
-class StreamEndpoint : public App {
+class StreamEndpoint : public App, public TimerTarget {
  public:
   StreamEndpoint(Simulator& sim, HostId host, StreamCallbacks callbacks,
                  util::Duration connect_timeout = util::Duration::seconds(3));
@@ -89,6 +92,9 @@ class StreamEndpoint : public App {
   }
 
   void on_datagram(const Datagram& dgram) override;
+  /// Connect-timeout timer: `conn_key` is the 4-tuple key, `conn_id`
+  /// the Connection::id the timer was armed for.
+  void on_timer(std::uint64_t conn_key, std::uint64_t conn_id) override;
 
  private:
   static std::uint64_t key(util::Ipv4 peer, std::uint16_t peer_port,
@@ -104,6 +110,7 @@ class StreamEndpoint : public App {
   util::Duration connect_timeout_;
   std::uint16_t listen_port_ = 0;
   std::uint16_t next_ephemeral_ = 52000;
+  std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, ConnectionPtr> connections_;
   std::uint64_t handshakes_rejected_ = 0;
 };

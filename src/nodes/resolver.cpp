@@ -174,6 +174,20 @@ void RecursiveResolver::query_current_server(const TaskPtr& task) {
       cased = *rebuilt;
     }
   }
+  // Key collision (the port pool wrapped within one timeout window):
+  // the displaced query can no longer match a response or its typed
+  // timeout — its timer would find this entry and bail on the
+  // generation check — so treat it as lost right now to keep its task
+  // making progress.
+  if (auto displaced_it = pending_upstream_.find(pending_key(port, txid));
+      displaced_it != pending_upstream_.end()) {
+    const TaskPtr displaced = displaced_it->second.task;
+    const auto displaced_gen = displaced->generation;
+    pending_upstream_.erase(displaced_it);
+    if (!displaced->done && displaced != task) {
+      on_upstream_timeout(displaced, displaced_gen);
+    }
+  }
   pending_upstream_[pending_key(port, txid)] = PendingUpstream{task, cased};
 
   Message q = dnswire::make_query(txid, cased, task->original.type,
@@ -181,11 +195,17 @@ void RecursiveResolver::query_current_server(const TaskPtr& task) {
   ++stats_.upstream_queries;
   send_message(server, port, kDnsPort, q);
 
-  sim().schedule(cfg_.upstream_timeout, [this, task, generation, port, txid]() {
-    if (task->done || task->generation != generation) return;
-    pending_upstream_.erase(pending_key(port, txid));
-    on_upstream_timeout(task, generation);
-  });
+  sim().schedule_timer(cfg_.upstream_timeout, this, generation,
+                       pending_key(port, txid));
+}
+
+void RecursiveResolver::on_timer(std::uint64_t generation, std::uint64_t key) {
+  auto it = pending_upstream_.find(static_cast<std::uint32_t>(key));
+  if (it == pending_upstream_.end()) return;  // answered already
+  const TaskPtr task = it->second.task;
+  if (task->done || task->generation != generation) return;
+  pending_upstream_.erase(it);
+  on_upstream_timeout(task, generation);
 }
 
 void RecursiveResolver::on_upstream_timeout(const TaskPtr& task,

@@ -49,13 +49,18 @@ struct ResolverStats {
   std::uint64_t rejected_0x20 = 0;  // responses with mangled name case
 };
 
-class RecursiveResolver : public DnsNode {
+class RecursiveResolver : public DnsNode, public netsim::TimerTarget {
  public:
   RecursiveResolver(netsim::Simulator& sim, netsim::HostId host,
                     ResolverConfig cfg, std::uint64_t seed = 7);
 
   /// Binds port 53 (service) and the wildcard (upstream responses).
   void start();
+
+  /// Upstream-query timeout: `generation` identifies the query, `key`
+  /// is its pending_key(port, txid). A no-op when the response already
+  /// consumed the pending entry or a newer query superseded it.
+  void on_timer(std::uint64_t generation, std::uint64_t key) override;
 
   [[nodiscard]] const ResolverStats& stats() const { return stats_; }
   [[nodiscard]] const DnsCache& cache() const { return cache_; }

@@ -22,25 +22,31 @@ void StatelessCampaign::run(const std::vector<util::Ipv4>& targets) {
       1e9 / static_cast<double>(cfg_.probes_per_second)));
   util::Duration at = util::Duration::nanos(0);
   for (auto target : targets) {
-    sim_->schedule(at, [this, target]() {
-      const std::uint16_t port = next_port_;
-      next_port_ = next_port_ >= 65000 ? 2048
-                                       : static_cast<std::uint16_t>(next_port_ + 1);
-      probe_target_by_port_[port] = target;
-      netsim::SendOptions opts;
-      opts.dst = target;
-      opts.src_port = port;
-      opts.dst_port = 53;
-      opts.payload = dnswire::encode(
-          dnswire::make_query(next_txid_++, cfg_.qname, cfg_.qtype));
-      last_send_at_ = sim_->now();
-      sim_->send_udp(host_, std::move(opts));
-    });
+    sim_->schedule_timer(at, this, target.value());
     at = at + gap;
   }
   sim_->run();
   sim_->run_until(last_send_at_ + cfg_.settle);
   sim_->run();
+}
+
+void StatelessCampaign::on_timer(std::uint64_t target_bits, std::uint64_t) {
+  send_probe(util::Ipv4{static_cast<std::uint32_t>(target_bits)});
+}
+
+void StatelessCampaign::send_probe(util::Ipv4 target) {
+  const std::uint16_t port = next_port_;
+  next_port_ = next_port_ >= 65000 ? 2048
+                                   : static_cast<std::uint16_t>(next_port_ + 1);
+  probe_target_by_port_[port] = target;
+  netsim::SendOptions opts;
+  opts.dst = target;
+  opts.src_port = port;
+  opts.dst_port = 53;
+  opts.payload = dnswire::encode(
+      dnswire::make_query(next_txid_++, cfg_.qname, cfg_.qtype));
+  last_send_at_ = sim_->now();
+  sim_->send_udp(host_, std::move(opts));
 }
 
 void StatelessCampaign::on_datagram(const netsim::Datagram& dgram) {

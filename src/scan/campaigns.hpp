@@ -37,7 +37,7 @@ struct CampaignConfig {
   util::Duration settle = util::Duration::seconds(25);
 };
 
-class StatelessCampaign : public netsim::App {
+class StatelessCampaign : public netsim::App, public netsim::TimerTarget {
  public:
   StatelessCampaign(netsim::Simulator& sim, netsim::HostId host,
                     CampaignConfig cfg);
@@ -59,8 +59,12 @@ class StatelessCampaign : public netsim::App {
   }
 
   void on_datagram(const netsim::Datagram& dgram) override;
+  /// Probe-pacing timer: `target_bits` is the probe target's address.
+  void on_timer(std::uint64_t target_bits, std::uint64_t) override;
 
  private:
+  void send_probe(util::Ipv4 target);
+
   netsim::Simulator* sim_;
   netsim::HostId host_;
   CampaignConfig cfg_;

@@ -50,10 +50,14 @@ void TransactionalScanner::start(const std::vector<util::Ipv4>& targets) {
                                           cfg_.probes_per_second)));
   util::Duration at = util::Duration::nanos(0);
   for (auto target : targets) {
-    sim_->schedule(at, [this, target]() { send_probe(target); });
+    sim_->schedule_timer(at, this, target.value());
     at = at + gap;
   }
   last_send_at_ = sim_->now() + at;
+}
+
+void TransactionalScanner::on_timer(std::uint64_t target_bits, std::uint64_t) {
+  send_probe(util::Ipv4{static_cast<std::uint32_t>(target_bits)});
 }
 
 void TransactionalScanner::run_to_completion() {

@@ -80,7 +80,7 @@ struct ScannerStats {
   std::uint64_t icmp_errors = 0;
 };
 
-class TransactionalScanner : public netsim::App {
+class TransactionalScanner : public netsim::App, public netsim::TimerTarget {
  public:
   TransactionalScanner(netsim::Simulator& sim, netsim::HostId host,
                        ScanConfig cfg);
@@ -107,6 +107,8 @@ class TransactionalScanner : public netsim::App {
   [[nodiscard]] util::SimTime last_send_at() const { return last_send_at_; }
 
   void on_datagram(const netsim::Datagram& dgram) override;
+  /// Probe-pacing timer: `target_bits` is the probe target's address.
+  void on_timer(std::uint64_t target_bits, std::uint64_t) override;
 
  private:
   void send_probe(util::Ipv4 target);

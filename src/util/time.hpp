@@ -35,6 +35,14 @@ class SimTime {
   constexpr SimTime() = default;
   static constexpr SimTime origin() { return SimTime{}; }
   static constexpr SimTime from_nanos(std::int64_t n) { return SimTime{n}; }
+  /// "Never": later than any schedulable instant (~146 years of
+  /// simulated nanoseconds) while still leaving headroom for
+  /// `t + Duration` arithmetic below the int64 ceiling. The event
+  /// engine's run-to-drain deadline; compare with `<` to test whether
+  /// a deadline is explicit or the drain sentinel.
+  static constexpr SimTime far_future() {
+    return SimTime{std::int64_t{1} << 62};
+  }
 
   [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
   [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
