@@ -23,8 +23,26 @@
 // decision, only the cost of making it. Results are recorded at the
 // repo root as BENCH_netsim.json (see docs/benchmarks.md).
 //
+// Sharded workloads (1-shard typed engine vs. N-shard ShardPool run,
+// docs/architecture.md "Sharded execution"):
+//
+//  * sharded census scan — paced probes to per-AS DNS responders that
+//    decode the query and encode a two-record answer (the census
+//    traffic shape): serving work spreads across shards;
+//  * sharded cross-shard relay — every target is a transparent
+//    forwarder relaying to a responder on a *different* shard, so each
+//    probe crosses the mailbox fabric twice.
+//
+// The sharded speedup is reported from the parallel **critical path**
+// (max per-shard CPU seconds, ShardStats::busy_seconds) — the honest
+// multi-core number on any machine, including single-core CI
+// containers where wall-clock cannot parallelize; the wall-clock
+// throughput of the sharded run is recorded alongside. Determinism is
+// checked with the canonical (shard-count-invariant) trace digest.
+//
 // usage: bench_netsim [--packets=N] [--ases=N] [--hops=N] [--dests=N]
-//                     [--seed=N] [--json=FILE] [--min-speedup=F]
+//                     [--seed=N] [--shards=N] [--json=FILE]
+//                     [--min-speedup=F]
 //
 // Exits 1 on a determinism violation, 2 when any workload's speedup
 // falls below --min-speedup (CI's loud perf-regression gate).
@@ -39,7 +57,11 @@
 #include <string>
 #include <vector>
 
+#include "dnswire/codec.hpp"
+#include "dnswire/message.hpp"
 #include "netsim/sim.hpp"
+#include "nodes/forwarder.hpp"
+#include "util/hash.hpp"
 #include "util/ipv4.hpp"
 
 namespace {
@@ -57,6 +79,7 @@ struct Opts {
   int hops = 3;
   std::uint32_t dests = 32;
   std::uint64_t seed = 2021;
+  std::uint32_t shards = 4;
   std::string json_path;
   double min_speedup = 0.0;
 
@@ -79,19 +102,23 @@ struct Opts {
             std::strtoul(val("--dests="), nullptr, 10));
       } else if (arg.rfind("--seed=", 0) == 0) {
         o.seed = std::strtoull(val("--seed="), nullptr, 10);
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        o.shards = static_cast<std::uint32_t>(
+            std::strtoul(val("--shards="), nullptr, 10));
       } else if (arg.rfind("--json=", 0) == 0) {
         o.json_path = val("--json=");
       } else if (arg.rfind("--min-speedup=", 0) == 0) {
         o.min_speedup = std::atof(val("--min-speedup="));
       } else {
         std::cout << "usage: bench_netsim [--packets=N] [--ases=N] "
-                     "[--hops=N] [--dests=N] [--seed=N] [--json=FILE] "
-                     "[--min-speedup=F]\n";
+                     "[--hops=N] [--dests=N] [--seed=N] [--shards=N] "
+                     "[--json=FILE] [--min-speedup=F]\n";
         std::exit(arg == "--help" ? 0 : 64);
       }
     }
-    if (o.ases < 4 || o.dests == 0 || o.hops < 1) {
-      std::cerr << "bench_netsim: need --ases>=4, --dests>=1, --hops>=1\n";
+    if (o.ases < 4 || o.dests == 0 || o.hops < 1 || o.shards < 2) {
+      std::cerr << "bench_netsim: need --ases>=4, --dests>=1, --hops>=1, "
+                   "--shards>=2\n";
       std::exit(64);
     }
     return o;
@@ -103,14 +130,8 @@ class NullSink : public netsim::App {
   void on_datagram(const netsim::Datagram&) override {}
 };
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xFFu;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+using util::fnv1a64;
+constexpr std::uint64_t kFnvBasis = util::kFnv1aBasis;
 
 /// The world under test plus the target list for one workload.
 struct World {
@@ -182,24 +203,25 @@ struct RunResult {
 
 void attach_trace_tap(Simulator& sim, RunResult& r) {
   sim.add_tap([&r](netsim::TapEvent ev, const netsim::Packet& p) {
-    r.trace_hash = fnv1a(r.trace_hash, static_cast<std::uint64_t>(ev));
-    r.trace_hash = fnv1a(r.trace_hash, p.src.value());
-    r.trace_hash = fnv1a(r.trace_hash, p.dst.value());
-    r.trace_hash = fnv1a(r.trace_hash,
+    r.trace_hash = fnv1a64(r.trace_hash, static_cast<std::uint64_t>(ev));
+    r.trace_hash = fnv1a64(r.trace_hash, p.src.value());
+    r.trace_hash = fnv1a64(r.trace_hash, p.dst.value());
+    r.trace_hash = fnv1a64(r.trace_hash,
                          static_cast<std::uint64_t>(p.ttl) << 32 |
                              std::uint64_t{p.src_port} << 16 | p.dst_port);
   });
 }
 
-void hash_routes(Simulator& sim, const World& w, RunResult& r) {
+void hash_routes(Simulator& sim, const std::vector<Ipv4>& targets,
+                 RunResult& r) {
   // Router-hop sequences for every (vantage, target) pair, hashed:
   // both sides of an A/B must agree hop for hop.
-  for (const auto dst : w.targets) {
+  for (const auto dst : targets) {
     const auto route = sim.net().route_from_as(1, dst);
     if (!route) continue;
-    r.route_hash = fnv1a(r.route_hash, route->dst_host);
+    r.route_hash = fnv1a64(r.route_hash, route->dst_host);
     for (const auto hop : route->router_hops) {
-      r.route_hash = fnv1a(r.route_hash, hop.value());
+      r.route_hash = fnv1a64(r.route_hash, hop.value());
     }
   }
 }
@@ -232,7 +254,7 @@ RunResult run_workload(const Opts& opts, bool anycast, bool cached,
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.counters = sim.counters();
   r.cache_stats = sim.net().route_cache_stats();
-  hash_routes(sim, w, r);
+  hash_routes(sim, w.targets, r);
   return r;
 }
 
@@ -310,7 +332,208 @@ RunResult run_sched_workload(const Opts& opts, bool timer_mix, bool typed,
   const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
   r.counters = sim.counters();
-  hash_routes(sim, w, r);
+  hash_routes(sim, w.targets, r);
+  return r;
+}
+
+// --- sharded census-style workloads ---------------------------------
+
+/// Authoritative-style responder: decodes the query, answers with two
+/// A records (dynamic mirror + control), encodes, sends — the per-
+/// target serving cost of a census scan, which is the work sharding
+/// spreads across cores.
+class DnsResponder : public netsim::App {
+ public:
+  DnsResponder(Simulator& sim, HostId host) : sim_(&sim), host_(host) {}
+
+  void on_datagram(const netsim::Datagram& dgram) override {
+    auto parsed = dnswire::decode(*dgram.payload);
+    if (!parsed) return;
+    const dnswire::Message& msg = parsed.value();
+    if (msg.header.qr || msg.questions.empty()) return;
+    dnswire::Message resp = dnswire::make_response(msg);
+    resp.header.ra = true;
+    const auto& qname = msg.questions.front().name;
+    resp.answers.push_back(dnswire::ResourceRecord{
+        qname, dnswire::RrType::a, dnswire::RrClass::in, 60,
+        dnswire::ARecord{dgram.src}});
+    resp.answers.push_back(dnswire::ResourceRecord{
+        qname, dnswire::RrType::a, dnswire::RrClass::in, 60,
+        dnswire::ARecord{Ipv4{203, 0, 113, 9}}});
+    netsim::SendOptions out;
+    out.dst = dgram.src;
+    out.src_port = dgram.dst_port;
+    out.dst_port = dgram.src_port;
+    out.payload = dnswire::encode(resp);
+    sim_->send_udp(host_, std::move(out));
+  }
+
+ private:
+  Simulator* sim_;
+  HostId host_;
+};
+
+/// Sends one pacing slot's worth of pre-encoded probes per timer fire
+/// (scanners pace in slots, not per-packet timers — and the slot timer
+/// keeps the scanner shard's event count proportional to slots, not
+/// probes).
+class ProbePacer : public netsim::TimerTarget {
+ public:
+  ProbePacer(Simulator& sim, HostId scanner, const std::vector<Ipv4>& targets,
+             std::vector<std::uint8_t> query)
+      : sim_(&sim), scanner_(scanner), targets_(&targets),
+        query_(std::move(query)) {}
+
+  void on_timer(std::uint64_t first, std::uint64_t count) override {
+    for (std::uint64_t p = first; p < first + count; ++p) {
+      netsim::SendOptions send;
+      send.dst = (*targets_)[p % targets_->size()];
+      send.src_port = static_cast<std::uint16_t>(40000 + (p & 0xFFF));
+      send.dst_port = 53;
+      send.ttl = 255;
+      send.payload = query_;  // clone of the template
+      sim_->send_udp(scanner_, std::move(send));
+    }
+  }
+
+ private:
+  Simulator* sim_;
+  HostId scanner_;
+  const std::vector<Ipv4>* targets_;
+  std::vector<std::uint8_t> query_;
+};
+
+/// World for the sharded workloads: every non-vantage AS hosts an
+/// upstream resolver (DnsResponder) and a recursive forwarder relaying
+/// to it — the ODNS's dominant species, so each probe costs two DNS
+/// transactions of serving work on its target's shard (SAV off
+/// everywhere so relays work). With `relay`, targets are additionally
+/// transparent-forwarder hosts whose port-53 redirect points at the
+/// *next* AS's recursive forwarder — which the round-robin AS
+/// partition places on a different shard for every shard count > 1,
+/// so each probe crosses the mailbox fabric on the relay leg too.
+struct ShardedWorld {
+  std::unique_ptr<Simulator> sim;
+  HostId scanner = netsim::kInvalidHost;
+  std::vector<Ipv4> targets;
+  std::vector<std::unique_ptr<DnsResponder>> responders;
+  std::vector<std::unique_ptr<nodes::RecursiveForwarder>> forwarders;
+  NullSink sink;  // scanner side: capture is counting, not decoding
+};
+
+ShardedWorld build_sharded_world(const Opts& opts, bool relay,
+                                 std::uint32_t shards, bool threads) {
+  ShardedWorld w;
+  netsim::SimConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.shards = shards;
+  cfg.shard_threads = threads;
+  w.sim = std::make_unique<Simulator>(cfg);
+  auto& net = w.sim->net();
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    netsim::AsConfig as;
+    as.asn = i;
+    as.internal_hops = opts.hops;
+    as.source_address_validation = false;  // transparent relays need it off
+    net.add_as(as);
+    net.announce(i, Prefix{Ipv4{10, static_cast<std::uint8_t>(i % 250), 0, 0},
+                           16});
+  }
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    net.link(i, i % opts.ases + 1);  // ring
+    if (i % 7 == 0 && i + opts.ases / 3 <= opts.ases) {
+      net.link(i, i + opts.ases / 3);  // chord
+    }
+  }
+  auto host_addr = [&](std::uint32_t asn, std::uint8_t lo) {
+    return Ipv4{10, static_cast<std::uint8_t>(asn % 250),
+                static_cast<std::uint8_t>(asn / 250), lo};
+  };
+  w.scanner = net.add_host(1, {host_addr(1, 1)});
+  w.sim->bind_udp_wildcard(w.scanner, &w.sink);
+  std::vector<Ipv4> forwarder_addrs(opts.ases + 1);
+  for (std::uint32_t asn = 2; asn <= opts.ases; ++asn) {
+    // Upstream resolver of this AS...
+    const Ipv4 upstream_addr = host_addr(asn, 53);
+    const auto upstream = net.add_host(asn, {upstream_addr});
+    w.responders.push_back(std::make_unique<DnsResponder>(*w.sim, upstream));
+    w.sim->bind_udp(upstream, 53, w.responders.back().get());
+    // ...and the recursive forwarder relaying to it. Caching off: every
+    // probe must cost a full relay round trip, like an uncached census
+    // first contact.
+    const Ipv4 fwd_addr = host_addr(asn, 80);
+    const auto fwd = net.add_host(asn, {fwd_addr});
+    nodes::ForwarderConfig fc;
+    fc.upstream = upstream_addr;
+    fc.cache_responses = false;
+    w.forwarders.push_back(
+        std::make_unique<nodes::RecursiveForwarder>(*w.sim, fwd, fc));
+    w.forwarders.back()->start();
+    forwarder_addrs[asn] = fwd_addr;
+  }
+  for (std::uint32_t asn = 2; asn <= opts.ases; ++asn) {
+    if (relay) {
+      // Transparent forwarder in this AS relaying to the next AS's
+      // recursive forwarder: probe and relay cross the shard fabric.
+      const std::uint32_t next = asn == opts.ases ? 2 : asn + 1;
+      const Ipv4 tf_addr = host_addr(asn, 77);
+      const auto tf = net.add_host(asn, {tf_addr});
+      w.sim->add_port_redirect(tf, 53, forwarder_addrs[next]);
+      w.targets.push_back(tf_addr);
+    } else {
+      w.targets.push_back(forwarder_addrs[asn]);
+    }
+  }
+  return w;
+}
+
+/// One sharded-workload pass. Timing covers pacing + serving + drain;
+/// `critical_seconds` is max per-shard CPU busy time (= the 1-shard
+/// wall time when shards == 1, since everything runs on one shard).
+struct ShardedRun {
+  RunResult base;
+  double critical_seconds = 0.0;
+  std::uint64_t mailbox_in = 0;
+  std::uint64_t mailbox_overflows = 0;
+};
+
+ShardedRun run_sharded_workload(const Opts& opts, bool relay,
+                                std::uint32_t shards, bool traced,
+                                std::uint64_t packets, bool threads = true) {
+  ShardedWorld w = build_sharded_world(opts, relay, shards, threads);
+  auto& sim = *w.sim;
+  if (traced) sim.set_packet_trace_enabled(true);
+  const auto query = dnswire::encode(dnswire::make_query(
+      0x777, *dnswire::Name::parse("scan.odns-study.net"),
+      dnswire::RrType::a));
+  ProbePacer pacer(sim, w.scanner, w.targets, query);
+  // 16-probe slots at 16 µs (1 µs/probe average): hundreds of probes
+  // per lookahead window, so windows stay fat and barrier overhead
+  // amortizes (census pacing shape).
+  constexpr std::uint64_t kSlot = 16;
+  for (std::uint64_t p = 0; p < packets; p += kSlot) {
+    sim.schedule_timer_on(w.scanner, util::Duration::micros(
+                                         static_cast<std::int64_t>(p)),
+                          &pacer, p, std::min(kSlot, packets - p));
+  }
+  ShardedRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.base.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.base.counters = sim.counters();
+  if (traced) r.base.trace_hash = sim.canonical_trace_digest();
+  hash_routes(sim, w.targets, r.base);
+  if (shards > 1) {
+    for (std::uint32_t s = 0; s < sim.shard_count(); ++s) {
+      const auto& stats = sim.shard_stats(s);
+      r.critical_seconds = std::max(r.critical_seconds, stats.busy_seconds);
+      r.mailbox_in += stats.mailbox_in;
+      r.mailbox_overflows += stats.mailbox_overflows;
+    }
+  } else {
+    r.critical_seconds = r.base.seconds;
+  }
   return r;
 }
 
@@ -337,6 +560,13 @@ struct WorkloadReport {
   bool has_cache_stats = false;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Sharded rows only: wall-clock throughput of the sharded run (the
+  // critical-path number is fast_pps) and mailbox-fabric statistics.
+  bool has_shard_stats = false;
+  std::uint32_t shards = 0;
+  double sharded_wall_pps = 0.0;
+  std::uint64_t mailbox_in = 0;
+  std::uint64_t mailbox_overflows = 0;
 };
 
 /// Shared A/B scaffolding: times both modes (no tap in the hot loop,
@@ -397,6 +627,62 @@ WorkloadReport bench_sched_workload(const Opts& opts, const std::string& name,
       });
 }
 
+/// Sharded A/B: the 1-shard typed engine vs. the N-shard run on the
+/// *same* workload. The sharded side's throughput is the parallel
+/// critical path (packets / max per-shard busy seconds); wall-clock is
+/// recorded alongside. Determinism compares summed counters, the
+/// canonical trace digest, and router-hop hashes across shard counts.
+WorkloadReport bench_sharded_workload(const Opts& opts,
+                                      const std::string& name, bool relay) {
+  constexpr int kRepeats = 3;
+  WorkloadReport rep;
+  rep.name = name;
+  rep.baseline_label = "one_shard";
+  rep.fast_label = "sharded_critical_path";
+  rep.has_shard_stats = true;
+  rep.shards = opts.shards;
+  ShardedRun baseline, fast, fast_threaded;
+  for (int rep_i = 0; rep_i < kRepeats; ++rep_i) {
+    auto b = run_sharded_workload(opts, relay, 1, false, opts.packets);
+    // Critical path from the sequential scheduler: per-shard CPU time
+    // unpolluted by time-slicing (byte-identical to the threaded run).
+    auto f = run_sharded_workload(opts, relay, opts.shards, false,
+                                  opts.packets, /*threads=*/false);
+    // Wall clock from the real worker-thread run.
+    auto ft = run_sharded_workload(opts, relay, opts.shards, false,
+                                   opts.packets, /*threads=*/true);
+    if (rep_i == 0 || b.critical_seconds < baseline.critical_seconds) {
+      baseline = std::move(b);
+    }
+    if (rep_i == 0 || f.critical_seconds < fast.critical_seconds) {
+      fast = std::move(f);
+    }
+    if (rep_i == 0 || ft.base.seconds < fast_threaded.base.seconds) {
+      fast_threaded = std::move(ft);
+    }
+  }
+  rep.baseline_pps =
+      static_cast<double>(opts.packets) / baseline.critical_seconds;
+  rep.fast_pps = static_cast<double>(opts.packets) / fast.critical_seconds;
+  rep.speedup = rep.fast_pps / rep.baseline_pps;
+  rep.sharded_wall_pps =
+      static_cast<double>(opts.packets) / fast_threaded.base.seconds;
+  rep.mailbox_in = fast.mailbox_in;
+  rep.mailbox_overflows = fast.mailbox_overflows;
+  const std::uint64_t vpackets = std::min<std::uint64_t>(opts.packets, 30000);
+  const auto vb = run_sharded_workload(opts, relay, 1, true, vpackets);
+  const auto vf =
+      run_sharded_workload(opts, relay, opts.shards, true, vpackets);
+  rep.identical =
+      counters_equal(vb.base.counters, vf.base.counters) &&
+      vb.base.trace_hash == vf.base.trace_hash &&
+      vb.base.route_hash == vf.base.route_hash &&
+      counters_equal(baseline.base.counters, fast.base.counters) &&
+      counters_equal(fast.base.counters, fast_threaded.base.counters) &&
+      baseline.base.route_hash == fast.base.route_hash;
+  return rep;
+}
+
 void print_report(const WorkloadReport& r) {
   std::cout << r.name << "\n"
             << "  " << r.baseline_label << ": "
@@ -407,6 +693,12 @@ void print_report(const WorkloadReport& r) {
   if (r.has_cache_stats) {
     std::cout << "  cache:    " << r.cache_hits << " hits / "
               << r.cache_misses << " misses\n";
+  }
+  if (r.has_shard_stats) {
+    std::cout << "  shards:   " << r.shards << " (wall "
+              << static_cast<std::uint64_t>(r.sharded_wall_pps)
+              << " pkts/s, mailbox " << r.mailbox_in << " msgs, "
+              << r.mailbox_overflows << " spills)\n";
   }
   std::cout << "  determinism (counters + trace + router hops): "
             << (r.identical ? "identical" : "MISMATCH") << "\n\n";
@@ -420,7 +712,7 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
       << "  \"config\": {\"packets\": " << opts.packets
       << ", \"ases\": " << opts.ases << ", \"internal_hops\": " << opts.hops
       << ", \"dests\": " << opts.dests << ", \"seed\": " << opts.seed
-      << "},\n"
+      << ", \"shards\": " << opts.shards << "},\n"
       << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const auto& r = reps[i];
@@ -432,6 +724,12 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
     if (r.has_cache_stats) {
       out << ", \"cache_hits\": " << r.cache_hits
           << ", \"cache_misses\": " << r.cache_misses;
+    }
+    if (r.has_shard_stats) {
+      out << ", \"shards\": " << r.shards << ", \"sharded_wall_pps\": "
+          << static_cast<std::uint64_t>(r.sharded_wall_pps)
+          << ", \"mailbox_msgs\": " << r.mailbox_in
+          << ", \"mailbox_spills\": " << r.mailbox_overflows;
     }
     out << ", \"deterministic\": " << (r.identical ? "true" : "false")
         << "}" << (i + 1 < reps.size() ? "," : "") << "\n";
@@ -455,6 +753,10 @@ int main(int argc, char** argv) {
                                       /*timer_mix=*/false));
   reps.push_back(bench_sched_workload(opts, "sched_long_horizon_timer_mix",
                                       /*timer_mix=*/true));
+  reps.push_back(bench_sharded_workload(opts, "sharded_census_scan",
+                                        /*relay=*/false));
+  reps.push_back(bench_sharded_workload(opts, "sharded_cross_shard_relay",
+                                        /*relay=*/true));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);

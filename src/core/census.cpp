@@ -4,7 +4,9 @@ namespace odns::core {
 
 CensusResult run_census(const CensusConfig& cfg) {
   CensusResult result;
-  result.world = topo::TopologyBuilder::build(cfg.topology);
+  topo::TopologyConfig topology = cfg.topology;
+  if (cfg.sim_shards > 0) topology.sim.shards = cfg.sim_shards;
+  result.world = topo::TopologyBuilder::build(topology);
   result.registry =
       registry::RegistrySnapshot::derive(*result.world, cfg.registry);
 
@@ -12,6 +14,7 @@ CensusResult run_census(const CensusConfig& cfg) {
   sc.qname = result.world->scan_name();
   sc.timeout = cfg.scan_timeout;
   sc.probes_per_second = cfg.probes_per_second;
+  sc.shard_interleave = cfg.shard_interleaved_targets;
   result.scanner = std::make_unique<scan::TransactionalScanner>(
       result.world->sim(), result.world->scanner_host(), sc);
   result.scanner->start(result.world->scan_targets());
@@ -38,7 +41,8 @@ classify::Census reanalyze(const CensusResult& result,
 std::unique_ptr<scan::StatelessCampaign> run_campaign(
     topo::Deployment& world, scan::CampaignKind kind, util::Prefix vantage,
     const std::vector<util::Ipv4>& targets) {
-  const util::Ipv4 host_addr{vantage.base().value() + 7};
+  const util::Ipv4 host_addr{vantage.base().value() +
+                             kCampaignVantageHostOffset};
   const auto host = honeypot::attach_vantage(world, vantage, host_addr);
   scan::CampaignConfig cc;
   cc.kind = kind;

@@ -29,7 +29,22 @@ struct CensusConfig {
   /// Strict two-record validation (this work) vs. single-record
   /// (Shadowserver-style) — the §4.2 ablation.
   bool strict_validation = true;
+  /// Event-engine shards for the simulated world (> 0 overrides
+  /// topology.sim.shards; 0 keeps it). N > 1 runs the census on N
+  /// worker threads with byte-identical results — see "Sharded
+  /// execution" in docs/architecture.md.
+  std::uint32_t sim_shards = 0;
+  /// Interleave the probe targets round-robin over the partition so
+  /// every shard stays busy in every pacing window (see
+  /// scan::ScanConfig::shard_interleave; probe order then differs from
+  /// the classic census, but is identical for every shard count).
+  bool shard_interleaved_targets = false;
 };
+
+/// Host offset inside a campaign's vantage prefix (the address the
+/// campaign host binds: prefix base + offset). Previously a magic `+7`
+/// in run_campaign.
+inline constexpr std::uint32_t kCampaignVantageHostOffset = 7;
 
 struct CensusResult {
   std::unique_ptr<topo::Deployment> world;

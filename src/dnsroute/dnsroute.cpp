@@ -75,7 +75,10 @@ std::vector<TracePath> DnsroutePlusPlus::run(
   util::Duration at = util::Duration::nanos(0);
   for (std::size_t i = 0; i < targets.size(); ++i) {
     for (int ttl = 1; ttl <= cfg_.max_ttl; ++ttl) {
-      sim_->schedule_timer(at, this, i, static_cast<std::uint64_t>(ttl));
+      // Shard-affine pacing: scheduled from outside the event loop, so
+      // the timer must land on the shard owning the vantage host.
+      sim_->schedule_timer_on(host_, at, this, i,
+                              static_cast<std::uint64_t>(ttl));
       at = at + gap;
     }
   }

@@ -242,6 +242,14 @@ std::size_t EventQueue::step_batch() {
   return n;
 }
 
+std::uint64_t EventQueue::run_before(util::SimTime end) {
+  std::uint64_t n = 0;
+  while (!empty() && peek_at() < end) {
+    n += step_batch();
+  }
+  return n;
+}
+
 std::uint64_t EventQueue::run(util::SimTime deadline) {
   std::uint64_t n = 0;
   while (!empty() && peek_at() <= deadline) {

@@ -127,6 +127,15 @@ class EventQueue {
   /// passed. Returns the number of events executed.
   std::uint64_t run(util::SimTime deadline = util::SimTime::far_future());
 
+  /// Window drain for the sharded simulator: runs events strictly
+  /// before `end` (exclusive) and stops without touching the clock
+  /// otherwise. Unlike run(), never advances now() past the last
+  /// executed event — the window loop owns clock advancement policy.
+  std::uint64_t run_before(util::SimTime end);
+
+  /// Earliest pending timestamp. Pre: !empty().
+  [[nodiscard]] util::SimTime next_at() const { return peek_at(); }
+
  private:
   enum class Kind : std::uint32_t { deliver = 0, icmp = 1, timer = 2,
                                     closure = 3 };

@@ -1,0 +1,109 @@
+#pragma once
+// Cross-shard transport for the sharded simulator: one single-producer
+// single-consumer mailbox per ordered shard pair (src -> dst). During
+// a conservative time window the source shard pushes packet events
+// whose destination host lives on another shard; at the window barrier
+// the destination shard drains every incoming mailbox in fixed source
+// order (shard 0, 1, 2, ...), which — together with each mailbox's
+// FIFO order — makes cross-shard admission deterministic regardless of
+// thread scheduling. docs/event-engine.md ("Cross-shard merge rule")
+// states the resulting total order.
+//
+// The ring is fixed-capacity (SimConfig::mailbox_capacity). The
+// backpressure policy is *spill, never block and never drop*: once the
+// ring is full (or has ever been bypassed this window), the producer
+// appends to a producer-owned overflow vector that the consumer drains
+// after the ring at the barrier. Blocking the producer could deadlock
+// the window barrier, and dropping would violate determinism; the
+// spill count is surfaced via ShardStats::mailbox_overflows so
+// capacity tuning is observable.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/time.hpp"
+
+namespace odns::netsim {
+
+/// One cross-shard event in flight: either a packet delivery or a
+/// deferred ICMP generation, tagged with its absolute arrival time.
+struct MailboxMsg {
+  enum class Kind : std::uint8_t { deliver, icmp };
+  Kind kind = Kind::deliver;
+  IcmpType icmp_type = IcmpType::ttl_exceeded;
+  util::SimTime at;
+  HostId dst_host = kInvalidHost;
+  util::Ipv4 router;
+  Asn origin_as = 0;
+  Packet pkt;
+};
+
+class SpscMailbox {
+ public:
+  void reset(std::size_t capacity) {
+    // One slot is the ring's full/empty sentinel, so allocate
+    // capacity + 1: the configured capacity is exactly the number of
+    // messages that fit before the overflow spill engages.
+    ring_.assign((capacity == 0 ? 1 : capacity) + 1, MailboxMsg{});
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    overflow_.clear();
+    pushed_ = 0;
+    overflowed_ = 0;
+  }
+
+  /// Producer side (source shard thread only).
+  void push(MailboxMsg&& msg) {
+    ++pushed_;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) % ring_.size();
+    // FIFO across ring + spill: once anything spilled this window, all
+    // later messages must spill too, or drain order would reorder them.
+    if (!overflow_.empty() || next == head_.load(std::memory_order_acquire)) {
+      ++overflowed_;
+      overflow_.push_back(std::move(msg));
+      return;
+    }
+    ring_[tail] = std::move(msg);
+    tail_.store(next, std::memory_order_release);
+  }
+
+  /// Consumer side (destination shard, at the window barrier). Applies
+  /// `fn` to every pending message in FIFO order and empties the box.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    while (head != tail) {
+      fn(std::move(ring_[head]));
+      head = (head + 1) % ring_.size();
+    }
+    head_.store(head, std::memory_order_release);
+    // The overflow vector is producer-written during the window and
+    // consumer-read here; the phase barrier between those two accesses
+    // is the synchronization point.
+    for (auto& msg : overflow_) fn(std::move(msg));
+    overflow_.clear();
+  }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t overflowed() const { return overflowed_; }
+
+ private:
+  std::vector<MailboxMsg> ring_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  std::vector<MailboxMsg> overflow_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t overflowed_ = 0;
+};
+
+}  // namespace odns::netsim

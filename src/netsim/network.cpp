@@ -42,7 +42,7 @@ AsInfo& Network::add_as(const AsConfig& cfg) {
     info.router_ips.push_back(ip);
     router_ip_owner_.emplace(ip, cfg.asn);
   }
-  bfs_cache_.clear();
+  ++graph_epoch_;
   bump_epoch();
   return info;
 }
@@ -58,7 +58,7 @@ void Network::link(Asn a, Asn b) {
       ia->neighbors.end()) {
     ia->neighbors.push_back(b);
     ib->neighbors.push_back(a);
-    bfs_cache_.clear();
+    ++graph_epoch_;
     bump_epoch();
   }
 }
@@ -133,13 +133,18 @@ bool Network::is_anycast(util::Ipv4 addr) const {
 }
 
 HostId Network::resolve_destination(util::Ipv4 addr, Asn from_as) const {
+  return resolve_destination(default_cache_, addr, from_as);
+}
+
+HostId Network::resolve_destination(RouteCache& cache, util::Ipv4 addr,
+                                    Asn from_as) const {
   if (auto it = anycast_.find(addr); it != anycast_.end()) {
     // Nearest-PoP selection: the anycast member whose AS is fewest AS
     // hops from the source, ties broken by member order (deterministic).
     HostId best = kInvalidHost;
     int best_dist = std::numeric_limits<int>::max();
     for (HostId member : it->second) {
-      const int d = as_distance(from_as, hosts_[member].asn);
+      const int d = as_distance(cache, from_as, hosts_[member].asn);
       if (d >= 0 && d < best_dist) {
         best_dist = d;
         best = member;
@@ -167,42 +172,47 @@ bool Network::source_is_legitimate(Asn asn, util::Ipv4 src) const {
   return owns_source(*info, src);
 }
 
-const Network::BfsResult& Network::bfs_from(Asn src) const {
-  auto it = bfs_cache_.find(src);
-  if (it != bfs_cache_.end()) return it->second;
+const RouteCache::BfsEntry& Network::bfs_for(RouteCache& cache,
+                                             Asn src) const {
+  auto& entry = cache.bfs[src];
+  if (entry.graph_epoch == graph_epoch_) return entry;
 
-  BfsResult result;
   constexpr auto kUnreached = std::numeric_limits<std::uint16_t>::max();
-  result.dist.assign(ases_.size(), kUnreached);
-  result.parent.assign(ases_.size(), 0xFFFFFFFFu);
+  entry.graph_epoch = graph_epoch_;
+  entry.dist.assign(ases_.size(), kUnreached);
+  entry.parent.assign(ases_.size(), 0xFFFFFFFFu);
   std::deque<std::uint32_t> queue;
   const auto s = static_cast<std::uint32_t>(as_index(src));
-  result.dist[s] = 0;
+  entry.dist[s] = 0;
   queue.push_back(s);
   while (!queue.empty()) {
     const auto u = queue.front();
     queue.pop_front();
     for (Asn nb : ases_[u].neighbors) {
       const auto v = static_cast<std::uint32_t>(as_index(nb));
-      if (result.dist[v] == kUnreached) {
-        result.dist[v] = static_cast<std::uint16_t>(result.dist[u] + 1);
-        result.parent[v] = u;
+      if (entry.dist[v] == kUnreached) {
+        entry.dist[v] = static_cast<std::uint16_t>(entry.dist[u] + 1);
+        entry.parent[v] = u;
         queue.push_back(v);
       }
     }
   }
-  return bfs_cache_.emplace(src, std::move(result)).first->second;
+  return entry;
 }
 
 int Network::as_distance(Asn from, Asn to) const {
+  return as_distance(default_cache_, from, to);
+}
+
+int Network::as_distance(RouteCache& cache, Asn from, Asn to) const {
   if (!asn_to_index_.contains(from) || !asn_to_index_.contains(to)) return -1;
-  const auto& bfs = bfs_from(from);
+  const auto& bfs = bfs_for(cache, from);
   const auto d = bfs.dist[as_index(to)];
   return d == std::numeric_limits<std::uint16_t>::max() ? -1 : d;
 }
 
-std::vector<Asn> Network::as_path(Asn from, Asn to) const {
-  const auto& bfs = bfs_from(from);
+std::vector<Asn> Network::as_path(RouteCache& cache, Asn from, Asn to) const {
+  const auto& bfs = bfs_for(cache, from);
   const auto t = as_index(to);
   if (bfs.dist[t] == std::numeric_limits<std::uint16_t>::max()) return {};
   std::vector<Asn> rev;
@@ -219,10 +229,10 @@ std::optional<Route> Network::route(HostId from, util::Ipv4 dst) const {
   return route_from_as(hosts_[from].asn, dst);
 }
 
-std::shared_ptr<const Network::PathSpan> Network::build_span(Asn from,
-                                                             Asn to) const {
+std::shared_ptr<const PathSpan> Network::build_span(RouteCache& cache,
+                                                    Asn from, Asn to) const {
   auto span = std::make_shared<PathSpan>();
-  span->as_path = as_path(from, to);
+  span->as_path = as_path(cache, from, to);
   if (span->as_path.empty()) return nullptr;
   std::size_t total = 0;
   for (Asn asn : span->as_path) total += ases_[as_index(asn)].router_ips.size();
@@ -235,50 +245,57 @@ std::shared_ptr<const Network::PathSpan> Network::build_span(Asn from,
   return span;
 }
 
-std::shared_ptr<const Network::PathSpan> Network::span_for(Asn from,
-                                                           Asn to) const {
+std::shared_ptr<const PathSpan> Network::span_for(RouteCache& cache, Asn from,
+                                                  Asn to) const {
   const auto key = static_cast<std::uint64_t>(as_index(from)) << 32 |
                    static_cast<std::uint64_t>(as_index(to));
-  auto& entry = span_cache_[key];
+  auto& entry = cache.spans[key];
   if (entry.epoch != epoch_) {
     entry.epoch = epoch_;
-    entry.span = build_span(from, to);
+    entry.span = build_span(cache, from, to);
   }
   return entry.span;
 }
 
-void Network::compute_route(RouteEntry& entry, Asn from, util::Ipv4 dst) const {
+void Network::compute_route(RouteCache& cache, RouteCache::RouteEntry& entry,
+                            Asn from, util::Ipv4 dst) const {
   entry.epoch = epoch_;
   entry.span = nullptr;
-  entry.dst_host = resolve_destination(dst, from);
+  entry.dst_host = resolve_destination(cache, dst, from);
   if (entry.dst_host == kInvalidHost) return;
   const Asn dst_as = hosts_[entry.dst_host].asn;
-  entry.span = route_cache_enabled_ ? span_for(from, dst_as)
-                                    : build_span(from, dst_as);
+  entry.span = route_cache_enabled_ ? span_for(cache, from, dst_as)
+                                    : build_span(cache, from, dst_as);
 }
 
-const Network::RouteEntry& Network::lookup_route(Asn from,
-                                                 util::Ipv4 dst) const {
+const RouteCache::RouteEntry& Network::lookup_route(RouteCache& cache,
+                                                    Asn from,
+                                                    util::Ipv4 dst) const {
   if (!route_cache_enabled_) {
-    compute_route(scratch_route_, from, dst);
-    return scratch_route_;
+    compute_route(cache, cache.scratch, from, dst);
+    return cache.scratch;
   }
   const auto key = static_cast<std::uint64_t>(from) << 32 |
                    static_cast<std::uint64_t>(dst.value());
-  auto [it, inserted] = route_cache_.try_emplace(key);
-  RouteEntry& entry = it->second;
+  auto [it, inserted] = cache.routes.try_emplace(key);
+  RouteCache::RouteEntry& entry = it->second;
   if (!inserted && entry.epoch == epoch_) {
-    ++cache_stats_.hits;
+    ++cache.stats.hits;
     return entry;
   }
-  if (!inserted) ++cache_stats_.stale_evictions;
-  ++cache_stats_.misses;
-  compute_route(entry, from, dst);
+  if (!inserted) ++cache.stats.stale_evictions;
+  ++cache.stats.misses;
+  compute_route(cache, entry, from, dst);
   return entry;
 }
 
 std::optional<RouteView> Network::route_view(Asn from, util::Ipv4 dst) const {
-  const RouteEntry& entry = lookup_route(from, dst);
+  return route_view(default_cache_, from, dst);
+}
+
+std::optional<RouteView> Network::route_view(RouteCache& cache, Asn from,
+                                             util::Ipv4 dst) const {
+  const RouteCache::RouteEntry& entry = lookup_route(cache, from, dst);
   if (entry.span == nullptr) return std::nullopt;
   return RouteView{&entry.span->router_hops, &entry.span->as_path,
                    entry.dst_host};

@@ -7,6 +7,14 @@
 // concatenation of each traversed AS's internal router chain, which
 // gives hop-accurate TTL semantics (what DNSRoute++ measures) without
 // simulating per-router FIBs.
+//
+// Route lookups fill an epoch-tagged RouteCache (route_cache.hpp).
+// Every cache-touching method has two shapes: the classic one, which
+// uses the Network-owned default cache (single-threaded callers), and
+// a `const` overload taking an explicit RouteCache& so a sharded
+// simulator can hand every shard a private cache — after construction
+// the Network itself is then immutable shared state, safe to read from
+// any number of shard threads concurrently.
 
 #include <cstdint>
 #include <memory>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "netsim/packet.hpp"
+#include "netsim/route_cache.hpp"
 #include "util/ipv4.hpp"
 
 namespace odns::netsim {
@@ -54,15 +63,6 @@ struct Route {
   HostId dst_host = kInvalidHost;
 };
 
-/// Route-cache observability: `hits` are served without recomputation,
-/// `misses` fill a fresh entry, `stale_evictions` count entries that
-/// were lazily recomputed because the topology epoch moved past them.
-struct RouteCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t stale_evictions = 0;
-};
-
 class Network {
  public:
   Network();
@@ -86,10 +86,15 @@ class Network {
   [[nodiscard]] const AsInfo* find_as(Asn asn) const;
   [[nodiscard]] AsInfo* find_as_mutable(Asn asn);
   [[nodiscard]] const std::vector<Asn>& all_asns() const { return asn_order_; }
+  [[nodiscard]] std::size_t as_count() const { return ases_.size(); }
+  /// Dense index of an ASN in construction order (stable, 0-based).
+  [[nodiscard]] std::size_t as_index(Asn asn) const;
 
   /// Exact-match host owning `addr` (unicast), or the nearest anycast
   /// member seen from `from_as`. kInvalidHost if nobody owns it.
   [[nodiscard]] HostId resolve_destination(util::Ipv4 addr, Asn from_as) const;
+  [[nodiscard]] HostId resolve_destination(RouteCache& cache, util::Ipv4 addr,
+                                           Asn from_as) const;
   [[nodiscard]] HostId unicast_owner(util::Ipv4 addr) const;
   [[nodiscard]] bool is_anycast(util::Ipv4 addr) const;
 
@@ -106,6 +111,7 @@ class Network {
 
   /// AS-level distance (hop count) between two ASes; -1 if unreachable.
   [[nodiscard]] int as_distance(Asn from, Asn to) const;
+  [[nodiscard]] int as_distance(RouteCache& cache, Asn from, Asn to) const;
 
   /// Computes the router-level route from a host to an IP address.
   /// Returns nullopt when the destination does not resolve or no AS
@@ -122,16 +128,21 @@ class Network {
   /// route lookup). Routing decisions are byte-identical to `route()`.
   [[nodiscard]] std::optional<RouteView> route_view(Asn from,
                                                     util::Ipv4 dst) const;
+  /// Per-shard variant: fills/serves `cache` instead of the built-in
+  /// default cache. Thread-safe as long as each cache is driven by one
+  /// thread and the topology is not mutated concurrently; with the
+  /// cache switch disabled it recomputes into `cache.scratch`.
+  [[nodiscard]] std::optional<RouteView> route_view(RouteCache& cache,
+                                                    Asn from,
+                                                    util::Ipv4 dst) const;
 
   /// A/B switch for benchmarking and equivalence tests: with the cache
   /// off, every lookup recomputes the route from scratch (the pre-cache
-  /// behaviour). Routing results are identical either way.
+  /// behaviour). Routing results are identical either way. Applies to
+  /// the default cache and to every caller-supplied RouteCache.
   void set_route_cache_enabled(bool enabled) {
     route_cache_enabled_ = enabled;
-    if (!enabled) {
-      route_cache_.clear();
-      span_cache_.clear();
-    }
+    if (!enabled) default_cache_.clear();
   }
   [[nodiscard]] bool route_cache_enabled() const {
     return route_cache_enabled_;
@@ -142,7 +153,7 @@ class Network {
   /// recomputed lazily on their next lookup.
   [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
   [[nodiscard]] const RouteCacheStats& route_cache_stats() const {
-    return cache_stats_;
+    return default_cache_.stats;
   }
 
   /// All announced prefixes with their origin ASN (synthetic
@@ -150,42 +161,23 @@ class Network {
   [[nodiscard]] std::vector<std::pair<Prefix4, Asn>> announced_prefixes() const;
 
  private:
-  struct BfsResult {
-    std::vector<std::uint16_t> dist;   // indexed by AS index
-    std::vector<std::uint32_t> parent; // AS index of predecessor
-  };
-
-  /// Precomputed router-hop span for one (source AS, destination AS)
-  /// pair: the AS path plus the concatenation of every traversed AS's
-  /// internal router chain. Shared (via shared_ptr) by all route-cache
-  /// entries whose destinations live in the same AS.
-  struct PathSpan {
-    std::vector<Asn> as_path;
-    std::vector<util::Ipv4> router_hops;
-  };
-  struct SpanEntry {
-    std::uint64_t epoch = 0;
-    std::shared_ptr<const PathSpan> span;  // nullptr: no AS path
-  };
-  struct RouteEntry {
-    std::uint64_t epoch = 0;
-    std::shared_ptr<const PathSpan> span;  // nullptr: unroutable
-    HostId dst_host = kInvalidHost;
-  };
-
-  [[nodiscard]] std::size_t as_index(Asn asn) const;
-  const BfsResult& bfs_from(Asn src) const;
-  [[nodiscard]] std::vector<Asn> as_path(Asn from, Asn to) const;
+  const RouteCache::BfsEntry& bfs_for(RouteCache& cache, Asn src) const;
+  [[nodiscard]] std::vector<Asn> as_path(RouteCache& cache, Asn from,
+                                         Asn to) const;
   util::Ipv4 allocate_router_ip();
   void bump_epoch() { ++epoch_; }
   /// Builds the concatenated hop span for an AS pair (uncached).
-  [[nodiscard]] std::shared_ptr<const PathSpan> build_span(Asn from,
+  [[nodiscard]] std::shared_ptr<const PathSpan> build_span(RouteCache& cache,
+                                                           Asn from,
                                                            Asn to) const;
   /// Span for an AS pair, via the epoch-tagged span cache.
-  std::shared_ptr<const PathSpan> span_for(Asn from, Asn to) const;
+  std::shared_ptr<const PathSpan> span_for(RouteCache& cache, Asn from,
+                                           Asn to) const;
   /// Fills `entry` with a freshly computed route (stamps the epoch).
-  void compute_route(RouteEntry& entry, Asn from, util::Ipv4 dst) const;
-  const RouteEntry& lookup_route(Asn from, util::Ipv4 dst) const;
+  void compute_route(RouteCache& cache, RouteCache::RouteEntry& entry,
+                     Asn from, util::Ipv4 dst) const;
+  const RouteCache::RouteEntry& lookup_route(RouteCache& cache, Asn from,
+                                             util::Ipv4 dst) const;
 
   std::vector<AsInfo> ases_;
   std::vector<Asn> asn_order_;
@@ -195,18 +187,17 @@ class Network {
   std::unordered_map<util::Ipv4, std::vector<HostId>> anycast_;
   std::unordered_map<util::Ipv4, Asn> router_ip_owner_;
   util::Ipv4 next_router_ip_;
-  mutable std::unordered_map<Asn, BfsResult> bfs_cache_;
 
   std::uint64_t epoch_ = 1;
+  /// Bumped only by graph-shape mutations (add_as / link) — the only
+  /// events that invalidate BFS results. Keeping it separate from
+  /// epoch_ means add_host/announce storms during world construction
+  /// never force BFS recomputation.
+  std::uint64_t graph_epoch_ = 1;
   bool route_cache_enabled_ = true;
-  // (source ASN << 32 | destination IP) -> cached route; stale entries
-  // (epoch mismatch) are recomputed in place on their next lookup.
-  mutable std::unordered_map<std::uint64_t, RouteEntry> route_cache_;
-  // (source AS index << 32 | destination AS index) -> hop span.
-  mutable std::unordered_map<std::uint64_t, SpanEntry> span_cache_;
-  // Scratch entry used when the cache is disabled (uncached baseline).
-  mutable RouteEntry scratch_route_;
-  mutable RouteCacheStats cache_stats_;
+  /// Cache behind the classic (cache-less) API shapes; shard 0 /
+  /// single-threaded callers share it.
+  mutable RouteCache default_cache_;
 };
 
 }  // namespace odns::netsim

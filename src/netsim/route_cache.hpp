@@ -1,0 +1,89 @@
+#pragma once
+// Route-cache storage, factored out of Network so a sharded simulator
+// can give every shard a private instance (no shared `mutable` maps
+// across threads). Network stays the single owner of the *logic* —
+// cache-taking overloads of `route_view` etc. fill these structures —
+// while this class is dumb epoch-tagged storage:
+//
+//   * route entries:  (source ASN, destination IP) -> span + dst host
+//   * span entries:   (source AS, destination AS)  -> router-hop span
+//   * BFS entries:    source AS -> distances/parents over the AS graph
+//
+// Invalidation contract (docs/architecture.md, "Routing fast path"):
+// route and span entries are stamped with Network::topology_epoch();
+// BFS entries with the graph epoch (bumped only by add_as/link, the
+// mutations that change the AS graph shape). A lookup that finds an
+// older stamp recomputes the entry in place — there is no
+// mutation-time scan, so world construction stays cheap and the scan
+// phase runs entirely on warm entries. Under sharding each shard's
+// cache converges independently; entries are never shared between
+// caches, so no locking is needed anywhere on the per-packet path.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/ipv4.hpp"
+
+namespace odns::netsim {
+
+/// Route-cache observability: `hits` are served without recomputation,
+/// `misses` fill a fresh entry, `stale_evictions` count entries that
+/// were lazily recomputed because the topology epoch moved past them.
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_evictions = 0;
+};
+
+/// Precomputed router-hop span for one (source AS, destination AS)
+/// pair: the AS path plus the concatenation of every traversed AS's
+/// internal router chain. Shared (via shared_ptr) by all route-cache
+/// entries whose destinations live in the same AS.
+struct PathSpan {
+  std::vector<Asn> as_path;
+  std::vector<util::Ipv4> router_hops;
+};
+
+class RouteCache {
+ public:
+  struct SpanEntry {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const PathSpan> span;  // nullptr: no AS path
+  };
+  struct RouteEntry {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const PathSpan> span;  // nullptr: unroutable
+    HostId dst_host = kInvalidHost;
+  };
+  struct BfsEntry {
+    std::uint64_t graph_epoch = 0;
+    std::vector<std::uint16_t> dist;    // indexed by AS index
+    std::vector<std::uint32_t> parent;  // AS index of predecessor
+  };
+
+  void clear() {
+    routes.clear();
+    spans.clear();
+    bfs.clear();
+  }
+
+  [[nodiscard]] const RouteCacheStats& cache_stats() const { return stats; }
+
+  // Storage is public to its driver (Network); everything here is an
+  // implementation detail of the routing fast path, not API.
+  // (source ASN << 32 | destination IP) -> cached route; stale entries
+  // (epoch mismatch) are recomputed in place on their next lookup.
+  std::unordered_map<std::uint64_t, RouteEntry> routes;
+  // (source AS index << 32 | destination AS index) -> hop span.
+  std::unordered_map<std::uint64_t, SpanEntry> spans;
+  // source ASN -> BFS over the AS adjacency graph.
+  std::unordered_map<Asn, BfsEntry> bfs;
+  // Scratch entry used when the cache is disabled (uncached baseline).
+  RouteEntry scratch;
+  RouteCacheStats stats;
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,64 @@
+#include "netsim/shard_pool.hpp"
+
+#include <cassert>
+
+namespace odns::netsim {
+
+void ShardPool::ensure_started(std::uint32_t n) {
+  assert(n > 0);
+  if (!workers_.empty()) {
+    assert(workers_.size() == n && "shard count changed under a live pool");
+    return;
+  }
+  workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ShardPool::run_phase(const PhaseFn& fn) {
+  std::unique_lock lock(mu_);
+  assert(!workers_.empty());
+  phase_ = &fn;
+  done_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return done_ == workers_.size(); });
+  phase_ = nullptr;
+}
+
+void ShardPool::worker_loop(std::uint32_t index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const PhaseFn* fn = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = phase_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard lock(mu_);
+      if (++done_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    cv_work_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  stop_ = false;
+  generation_ = 0;
+  done_ = 0;
+}
+
+}  // namespace odns::netsim

@@ -1,0 +1,58 @@
+#pragma once
+// Worker-thread pool for the sharded simulator: one long-lived thread
+// per shard, driven in lockstep phases by the coordinating thread.
+// run_phase(fn) hands every worker the same callable (invoked with its
+// shard index) and blocks until all workers finish — a full barrier on
+// both edges, which is exactly the synchronization the conservative
+// time-window protocol needs (and what makes the mailbox overflow
+// vectors safe to hand across threads without their own locks).
+//
+// The pool is deliberately condvar-based rather than spinning: windows
+// are coarse (one per lookahead interval), simulation work dominates,
+// and spinning would starve co-scheduled shards on small machines.
+// Determinism never depends on the pool — the same phases run
+// sequentially when SimConfig::shard_threads is false and produce
+// byte-identical results.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odns::netsim {
+
+class ShardPool {
+ public:
+  using PhaseFn = std::function<void(std::uint32_t shard)>;
+
+  ShardPool() = default;
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+  ~ShardPool() { shutdown(); }
+
+  /// Starts `n` workers if not already running (idempotent for equal n).
+  void ensure_started(std::uint32_t n);
+  /// Runs fn(shard) on every worker; returns when all have finished.
+  void run_phase(const PhaseFn& fn);
+  void shutdown();
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+ private:
+  void worker_loop(std::uint32_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const PhaseFn* phase_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace odns::netsim

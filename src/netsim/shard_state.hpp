@@ -1,0 +1,60 @@
+#pragma once
+// Internal definition of Simulator::Shard — the per-shard execution
+// context of the (possibly) sharded simulator. Not installed API:
+// included only by the netsim implementation files (sim.cpp /
+// sharded.cpp). Everything a shard touches per event lives here, so a
+// shard thread never writes state owned by another shard:
+//
+//   * its typed EventQueue (own clock, own sequence space),
+//   * its SimCounters and trace buffer,
+//   * its private RouteCache (epoch-tagged; see route_cache.hpp),
+//   * its RNG stream (seed ^ f(shard) — reserved for future
+//     per-shard stochastic models; the packet-loss decision is a
+//     stateless per-packet hash precisely so results do not depend
+//     on the shard count),
+//   * one SPSC inbox per source shard (cross-shard packet events).
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/event_queue.hpp"
+#include "netsim/mailbox.hpp"
+#include "netsim/route_cache.hpp"
+#include "netsim/sim.hpp"
+#include "util/rng.hpp"
+
+namespace odns::netsim {
+
+struct Simulator::Shard final : private PacketSink {
+  Shard(Simulator& sim, std::uint32_t idx, std::uint32_t count,
+        const SimConfig& cfg)
+      : owner(&sim), index(idx),
+        rng(cfg.seed ^ (0x9E3779B97F4A7C15ull * (idx + 1))),
+        inbox(count) {  // in place: mailboxes hold atomics (immovable)
+    events.bind_sink(this);
+    for (auto& mb : inbox) mb.reset(cfg.mailbox_capacity);
+  }
+
+  // PacketSink: pooled packet events dispatch back into the plane on
+  // this shard.
+  void deliver_event(Packet&& pkt, HostId host) override {
+    owner->deliver(*this, std::move(pkt), host);
+  }
+  void icmp_event(IcmpType type, Packet&& offender, util::Ipv4 router,
+                  Asn origin_as) override {
+    owner->send_icmp(*this, type, router, offender, origin_as);
+  }
+
+  Simulator* owner;
+  std::uint32_t index;
+  EventQueue events;
+  SimCounters counters;
+  RouteCache route_cache;
+  util::Rng rng;
+  std::uint64_t trace_seq = 0;
+  std::vector<TraceRecord> trace;
+  ShardStats stats;
+  std::vector<SpscMailbox> inbox;  // indexed by source shard
+};
+
+}  // namespace odns::netsim

@@ -1,0 +1,258 @@
+// Sharded execution runtime of the Simulator: AS-granular partition,
+// the conservative time-window loop, mailbox admission, and the
+// (time, shard, seq) trace merge. The protocol (lookahead choice,
+// window safety argument, admission order) is documented in
+// docs/event-engine.md, "Cross-shard merge rule"; the architecture
+// walk-through lives in docs/architecture.md, "Sharded execution".
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <ctime>
+
+#include "netsim/shard_state.hpp"
+#include "netsim/sim.hpp"
+#include "util/hash.hpp"
+
+namespace odns::netsim {
+
+namespace {
+
+/// CPU seconds consumed by the calling thread: per-shard busy time
+/// that is meaningful even when shards are time-sliced onto fewer
+/// cores (max over shards = the parallel critical path).
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+util::Duration Simulator::lookahead() const {
+  // The window may never exceed the true minimum cross-shard latency
+  // (one router hop): a larger configured value would let a window
+  // execute past a pending cross-shard arrival, which the admission
+  // clamp would then silently re-date. Clamp rather than trust.
+  if (cfg_.lookahead > util::Duration::nanos(0)) {
+    return std::min(cfg_.lookahead, cfg_.hop_latency);
+  }
+  return cfg_.hop_latency;
+}
+
+void Simulator::freeze_partition() {
+  if (partition_epoch_ == net_.topology_epoch() &&
+      host_shard_.size() == net_.host_count()) {
+    return;
+  }
+  const auto n = shard_count();
+  // AS-granular partition through a shard-count-independent virtual
+  // layer: AS index -> virtual shard (mod kVirtualShards) -> real
+  // shard (mod n). Adding ASes/hosts never reassigns existing ones
+  // (indices are append-only), so a lazy re-freeze only extends.
+  as_shard_.resize(net_.as_count());
+  for (std::size_t i = 0; i < as_shard_.size(); ++i) {
+    as_shard_[i] = static_cast<std::uint32_t>((i % kVirtualShards) % n);
+  }
+  host_shard_.resize(net_.host_count());
+  for (std::size_t h = 0; h < host_shard_.size(); ++h) {
+    host_shard_[h] =
+        as_shard_[net_.as_index(net_.host(static_cast<HostId>(h)).asn)];
+  }
+  if (!single_shard()) {
+    // Presize so shard threads never reallocate the dense tables; the
+    // partition guarantees disjoint per-shard slot access.
+    if (host_state_.size() < net_.host_count()) {
+      host_state_.resize(net_.host_count());
+    }
+    if (loss_burst_.size() < net_.as_count()) {
+      loss_burst_.resize(net_.as_count());
+    }
+    // External taps would run concurrently from shard threads; sharded
+    // observability goes through the built-in per-shard trace.
+    assert(taps_.empty() && "add_tap is single-shard only; use the trace");
+  }
+  partition_epoch_ = net_.topology_epoch();
+}
+
+std::uint32_t Simulator::shard_of(HostId host) {
+  if (single_shard()) return 0;
+  freeze_partition();
+  assert(host < host_shard_.size());
+  return host_shard_[host];
+}
+
+std::uint32_t Simulator::shard_of_as(Asn asn) const {
+  return as_shard_[net_.as_index(asn)];
+}
+
+std::uint32_t Simulator::virtual_shard_of(util::Ipv4 addr) const {
+  const HostId h = net_.unicast_owner(addr);
+  if (h == kInvalidHost) return 0;
+  return static_cast<std::uint32_t>(net_.as_index(net_.host(h).asn) %
+                                    kVirtualShards);
+}
+
+const ShardStats& Simulator::shard_stats(std::uint32_t shard) const {
+  return shards_[shard]->stats;
+}
+
+const SimCounters& Simulator::shard_counters(std::uint32_t shard) const {
+  return shards_[shard]->counters;
+}
+
+const RouteCacheStats& Simulator::shard_route_cache_stats(
+    std::uint32_t shard) const {
+  return shards_[shard]->route_cache.stats;
+}
+
+const std::vector<TraceRecord>& Simulator::shard_trace(
+    std::uint32_t shard) const {
+  return shards_[shard]->trace;
+}
+
+util::SimTime Simulator::next_event_time() const {
+  util::SimTime next = util::SimTime::far_future();
+  for (const auto& sh : shards_) {
+    if (!sh->events.empty()) next = std::min(next, sh->events.next_at());
+  }
+  return next;
+}
+
+void Simulator::run_shard_window(Shard& sh, util::SimTime wend) {
+  const double t0 = thread_cpu_seconds();
+  tl_owner_ = this;
+  tl_shard_ = &sh;
+  sh.events.run_before(wend);
+  tl_shard_ = nullptr;
+  tl_owner_ = nullptr;
+  sh.stats.busy_seconds += thread_cpu_seconds() - t0;
+}
+
+void Simulator::admit_mailboxes(Shard& sh) {
+  const double t0 = thread_cpu_seconds();
+  // Deterministic admission: source shards in ascending order, each
+  // mailbox FIFO. Together with fresh local sequence numbers this is
+  // the (time, shard, seq) cross-shard total order.
+  for (std::uint32_t src = 0; src < shards_.size(); ++src) {
+    if (src == sh.index) continue;
+    SpscMailbox& mb = sh.inbox[src];
+    mb.drain([&](MailboxMsg&& m) {
+      ++sh.stats.mailbox_in;
+      if (m.kind == MailboxMsg::Kind::deliver) {
+        sh.events.schedule_deliver(m.at, std::move(m.pkt), m.dst_host);
+      } else {
+        sh.events.schedule_icmp(m.at, m.icmp_type, std::move(m.pkt), m.router,
+                                m.origin_as);
+      }
+    });
+  }
+  std::uint64_t overflows = 0;
+  for (const auto& mb : sh.inbox) overflows += mb.overflowed();
+  sh.stats.mailbox_overflows = overflows;
+  sh.stats.busy_seconds += thread_cpu_seconds() - t0;
+}
+
+void Simulator::run_windows(util::SimTime deadline, bool advance_clocks) {
+  freeze_partition();
+  const util::Duration window = lookahead();
+  assert(window > util::Duration::nanos(0));
+  const bool explicit_deadline = deadline < util::SimTime::far_future();
+  const bool threaded = cfg_.shard_threads;
+  if (threaded) pool_.ensure_started(shard_count());
+
+  util::SimTime wend = util::SimTime::origin();
+  const ShardPool::PhaseFn window_phase = [&](std::uint32_t s) {
+    run_shard_window(*shards_[s], wend);
+  };
+  const ShardPool::PhaseFn admit_phase = [&](std::uint32_t s) {
+    admit_mailboxes(*shards_[s]);
+  };
+
+  while (true) {
+    const util::SimTime next = next_event_time();
+    if (next == util::SimTime::far_future() || next > deadline) break;
+    // Window [next, wend): every event executed inside it lies at
+    // least `window` (= min cross-shard latency) before any cross-
+    // shard arrival it can generate, so arrivals always land at or
+    // after wend and admission at the barrier is conservative-safe.
+    wend = next + window;
+    if (explicit_deadline) {
+      wend = std::min(wend,
+                      util::SimTime::from_nanos(deadline.nanos()) +
+                          util::Duration::nanos(1));
+    }
+    if (threaded) {
+      pool_.run_phase(window_phase);
+      pool_.run_phase(admit_phase);
+    } else {
+      for (auto& sh : shards_) run_shard_window(*sh, wend);
+      for (auto& sh : shards_) admit_mailboxes(*sh);
+    }
+  }
+
+  if (advance_clocks) {
+    // No events at or before the deadline remain anywhere; run() on an
+    // effectively empty window just advances each shard's clock so
+    // timeout logic keyed on now() stays deterministic (same contract
+    // as the single-shard engine).
+    for (auto& sh : shards_) sh->events.run(deadline);
+  }
+  for (auto& sh : shards_) sh->stats.events_executed = sh->events.executed();
+}
+
+std::vector<TraceRecord> Simulator::merged_trace() const {
+  std::vector<TraceRecord> out;
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh->trace.size();
+  out.reserve(total);
+  std::vector<std::size_t> pos(shards_.size(), 0);
+  // Each per-shard buffer is already time-ordered (events execute in
+  // nondecreasing time); a k-way merge on (time, shard) yields the
+  // documented (time, shard, seq) total order.
+  while (out.size() < total) {
+    std::size_t best = shards_.size();
+    std::int64_t best_at = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (pos[s] >= shards_[s]->trace.size()) continue;
+      const std::int64_t at = shards_[s]->trace[pos[s]].at;
+      if (best == shards_.size() || at < best_at) {
+        best = s;
+        best_at = at;
+      }
+    }
+    out.push_back(shards_[best]->trace[pos[best]++]);
+  }
+  return out;
+}
+
+std::uint64_t Simulator::canonical_trace_digest() const {
+  std::vector<TraceRecord> all = merged_trace();
+  std::sort(all.begin(), all.end(), [](const TraceRecord& a,
+                                       const TraceRecord& b) {
+    const auto key = [](const TraceRecord& r) {
+      return std::tuple(r.at, static_cast<std::uint8_t>(r.ev), r.proto, r.ttl,
+                        r.src, r.dst, r.src_port, r.dst_port);
+    };
+    return key(a) < key(b);
+  });
+  std::uint64_t h = util::kFnv1aBasis;
+  for (const auto& r : all) {
+    h = util::fnv1a64(h, static_cast<std::uint64_t>(r.at));
+    h = util::fnv1a64(h, static_cast<std::uint64_t>(r.ev) << 8 | r.proto);
+    h = util::fnv1a64(
+        h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.ttl)));
+    h = util::fnv1a64(h, std::uint64_t{r.src} << 32 | r.dst);
+    h = util::fnv1a64(h, std::uint64_t{r.src_port} << 16 | r.dst_port);
+  }
+  return h;
+}
+
+}  // namespace odns::netsim

@@ -3,24 +3,124 @@
 #include <cassert>
 #include <utility>
 
+#include "netsim/shard_state.hpp"
+
 namespace odns::netsim {
 
-Simulator::Simulator(SimConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
-  events_.bind_sink(this);
+namespace {
+
+/// splitmix64 finalizer — the stateless mixing step behind the
+/// per-packet loss decision.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
-void Simulator::deliver_event(Packet&& pkt, HostId host) {
-  deliver(std::move(pkt), host);
+}  // namespace
+
+thread_local Simulator::Shard* Simulator::tl_shard_ = nullptr;
+thread_local const Simulator* Simulator::tl_owner_ = nullptr;
+
+Simulator::Simulator(SimConfig cfg) : cfg_(cfg) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+  shards_.reserve(cfg_.shards);
+  for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, i, cfg_.shards, cfg_));
+  }
 }
 
-void Simulator::icmp_event(IcmpType type, Packet&& offender, util::Ipv4 router,
-                           Asn origin_as) {
-  send_icmp(type, router, offender, origin_as);
+Simulator::~Simulator() { pool_.shutdown(); }
+
+util::SimTime Simulator::now() const {
+  if (single_shard()) return shards_[0]->events.now();
+  if (tl_owner_ == this && tl_shard_ != nullptr) {
+    return tl_shard_->events.now();
+  }
+  // Outside a run the clocks are synchronized after run_until and may
+  // diverge after a drain run(); the latest clock is the global "now".
+  util::SimTime latest = shards_[0]->events.now();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    latest = std::max(latest, shards_[s]->events.now());
+  }
+  return latest;
 }
 
-void Simulator::run() { events_.run(); }
+Simulator::Shard& Simulator::active_shard() const {
+  if (tl_owner_ == this && tl_shard_ != nullptr) return *tl_shard_;
+  return *shards_[0];
+}
 
-void Simulator::run_until(util::SimTime deadline) { events_.run(deadline); }
+void Simulator::schedule(util::Duration delay, EventQueue::Action action) {
+  Shard& sh = active_shard();
+  sh.events.schedule_at(sh.events.now() + delay, std::move(action));
+}
+
+void Simulator::schedule_timer(util::Duration delay, TimerTarget* target,
+                               std::uint64_t a, std::uint64_t b) {
+  Shard& sh = active_shard();
+  sh.events.schedule_timer(sh.events.now() + delay, target, a, b);
+}
+
+void Simulator::schedule_timer_on(HostId affinity, util::Duration delay,
+                                  TimerTarget* target, std::uint64_t a,
+                                  std::uint64_t b) {
+  Shard& sh = *shards_[shard_of(affinity)];
+  sh.events.schedule_timer(sh.events.now() + delay, target, a, b);
+}
+
+void Simulator::run() {
+  if (single_shard()) {
+    shards_[0]->events.run();
+    return;
+  }
+  run_windows(util::SimTime::far_future(), /*advance_clocks=*/false);
+}
+
+void Simulator::run_until(util::SimTime deadline) {
+  if (single_shard()) {
+    shards_[0]->events.run(deadline);
+    return;
+  }
+  run_windows(deadline, /*advance_clocks=*/true);
+}
+
+void Simulator::set_typed_events_enabled(bool on) {
+  if (!on && !single_shard()) {
+    // The sharded runtime is typed-only: the legacy closure engine
+    // exists as the single-threaded A/B baseline.
+    assert(false && "legacy event mode requires shards == 1");
+    return;
+  }
+  shards_[0]->events.set_legacy_mode(!on);
+}
+
+bool Simulator::typed_events_enabled() const {
+  return !shards_[0]->events.legacy_mode();
+}
+
+const SimCounters& Simulator::counters() const {
+  if (single_shard()) return shards_[0]->counters;
+  agg_counters_ = SimCounters{};
+  for (const auto& sh : shards_) {
+    agg_counters_.sent += sh->counters.sent;
+    agg_counters_.delivered += sh->counters.delivered;
+    agg_counters_.dropped_sav += sh->counters.dropped_sav;
+    agg_counters_.dropped_loss += sh->counters.dropped_loss;
+    agg_counters_.dropped_no_route += sh->counters.dropped_no_route;
+    agg_counters_.ttl_expired += sh->counters.ttl_expired;
+    agg_counters_.icmp_generated += sh->counters.icmp_generated;
+    agg_counters_.redirected += sh->counters.redirected;
+  }
+  return agg_counters_;
+}
+
+std::uint64_t Simulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->events.executed();
+  return total;
+}
 
 Simulator::HostState& Simulator::state(HostId id) {
   // HostIds are dense (allocated by Network::add_host); a sentinel or
@@ -65,11 +165,73 @@ std::uint64_t Simulator::redirect_relays(HostId host) const {
   return total;
 }
 
-void Simulator::emit(TapEvent ev, const Packet& pkt) {
+void Simulator::emit(Shard& sh, TapEvent ev, const Packet& pkt) {
+  if (trace_enabled_) {
+    TraceRecord r;
+    r.at = sh.events.now().nanos();
+    r.shard = sh.index;
+    r.seq = sh.trace_seq++;
+    r.ev = ev;
+    r.proto = static_cast<std::uint8_t>(pkt.proto);
+    r.ttl = pkt.ttl;
+    r.src = pkt.src.value();
+    r.dst = pkt.dst.value();
+    r.src_port = pkt.src_port;
+    r.dst_port = pkt.dst_port;
+    sh.trace.push_back(r);
+  }
   for (const auto& tap : taps_) tap(ev, pkt);
 }
 
+bool Simulator::loss_drop(Asn origin_as, const Packet& pkt,
+                          util::SimTime at) {
+  if (cfg_.loss_rate >= 1.0) return true;
+  // Stateless core: the decision depends on (seed, packet identity,
+  // time), never on how many draws happened before — so loss patterns
+  // are identical for every shard count and event interleaving.
+  std::uint64_t h = mix64(cfg_.seed ^ 0x6C6F73735F686173ull);  // "loss_has"
+  h = mix64(h ^ (std::uint64_t{pkt.src.value()} << 32 | pkt.dst.value()));
+  h = mix64(h ^ (std::uint64_t{pkt.src_port} << 48 |
+                 std::uint64_t{pkt.dst_port} << 32 |
+                 static_cast<std::uint32_t>(pkt.ttl)));
+  h = mix64(h ^ static_cast<std::uint64_t>(at.nanos()) ^
+            (std::uint64_t{static_cast<std::uint8_t>(pkt.proto)} << 56));
+  // Byte-identical packets at the same instant (only synthetic bursts
+  // produce these) draw consecutive counter values instead of sharing
+  // one fate. Occurrences are counted per content hash within the
+  // nanosecond, so the set of fates drawn is independent of how
+  // same-instant packets interleave (and of the shard count). The
+  // slot is per origin AS, written only by its owning shard; sharded
+  // runs presize the table at partition freeze.
+  const std::size_t idx = net_.as_index(origin_as);
+  if (idx >= loss_burst_.size()) {
+    assert(single_shard());
+    loss_burst_.resize(net_.as_count());
+  }
+  LossBurst& burst = loss_burst_[idx];
+  if (burst.at != at.nanos()) {
+    burst.at = at.nanos();
+    burst.seen.clear();  // capacity retained
+  }
+  bool found = false;
+  for (auto& [hash, count] : burst.seen) {
+    if (hash == h) {
+      h = mix64(h ^ ++count);
+      found = true;
+      break;
+    }
+  }
+  if (!found) burst.seen.emplace_back(h, 0);
+  const auto threshold =
+      static_cast<std::uint64_t>(cfg_.loss_rate * 9007199254740992.0);  // 2^53
+  return (h >> 11) < threshold;
+}
+
 void Simulator::send_udp(HostId from, SendOptions opts) {
+  Shard& sh = *shards_[shard_of(from)];
+  // From inside a handler, sends must originate on the shard that owns
+  // the sending host (apps always do — they run there).
+  assert(tl_owner_ != this || tl_shard_ == nullptr || tl_shard_ == &sh);
   const Host& h = net_.host(from);
   assert(!h.addrs.empty());
   Packet pkt;
@@ -80,11 +242,12 @@ void Simulator::send_udp(HostId from, SendOptions opts) {
   pkt.src_port = opts.src_port;
   pkt.dst_port = opts.dst_port;
   pkt.payload = std::move(opts.payload);
-  inject(std::move(pkt), h.asn, /*from_router=*/false);
+  inject(sh, std::move(pkt), h.asn, /*from_router=*/false);
 }
 
-void Simulator::send_icmp(IcmpType type, util::Ipv4 from,
+void Simulator::send_icmp(Shard& sh, IcmpType type, util::Ipv4 from,
                           const Packet& offender, Asn origin_as) {
+  assert(single_shard() || shard_of_as(origin_as) == sh.index);
   // RFC 1122: never generate ICMP errors about ICMP errors.
   if (offender.proto == Protocol::icmp) return;
   Packet icmp;
@@ -95,13 +258,60 @@ void Simulator::send_icmp(IcmpType type, util::Ipv4 from,
   icmp.icmp_type = type;
   icmp.icmp_quote = IcmpQuote{offender.src, offender.dst, offender.src_port,
                               offender.dst_port};
-  ++counters_.icmp_generated;
-  inject(std::move(icmp), origin_as, /*from_router=*/true);
+  ++sh.counters.icmp_generated;
+  inject(sh, std::move(icmp), origin_as, /*from_router=*/true);
 }
 
-void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
-  ++counters_.sent;
-  emit(TapEvent::sent, pkt);
+void Simulator::schedule_deliver_on(Shard& sh, std::uint32_t dst_shard,
+                                    util::SimTime at, Packet&& pkt,
+                                    HostId host) {
+  if (dst_shard == sh.index) {
+    sh.events.schedule_deliver(at, std::move(pkt), host);
+    return;
+  }
+  if (tl_owner_ == this && tl_shard_ == &sh) {
+    // Inside a window on a shard thread: cross-shard events travel
+    // through the SPSC mailbox and are admitted at the barrier.
+    MailboxMsg m;
+    m.kind = MailboxMsg::Kind::deliver;
+    m.at = at;
+    m.dst_host = host;
+    m.pkt = std::move(pkt);
+    shards_[dst_shard]->inbox[sh.index].push(std::move(m));
+    return;
+  }
+  // Outside the event loop (setup / main thread between runs) no shard
+  // thread is running; scheduling directly keeps call order = seq.
+  shards_[dst_shard]->events.schedule_deliver(at, std::move(pkt), host);
+}
+
+void Simulator::schedule_icmp_on(Shard& sh, std::uint32_t dst_shard,
+                                 util::SimTime at, IcmpType type,
+                                 Packet&& offender, util::Ipv4 router,
+                                 Asn origin_as) {
+  if (dst_shard == sh.index) {
+    sh.events.schedule_icmp(at, type, std::move(offender), router, origin_as);
+    return;
+  }
+  if (tl_owner_ == this && tl_shard_ == &sh) {
+    MailboxMsg m;
+    m.kind = MailboxMsg::Kind::icmp;
+    m.icmp_type = type;
+    m.at = at;
+    m.router = router;
+    m.origin_as = origin_as;
+    m.pkt = std::move(offender);
+    shards_[dst_shard]->inbox[sh.index].push(std::move(m));
+    return;
+  }
+  shards_[dst_shard]->events.schedule_icmp(at, type, std::move(offender),
+                                           router, origin_as);
+}
+
+void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
+                       bool from_router) {
+  ++sh.counters.sent;
+  emit(sh, TapEvent::sent, pkt);
 
   // BCP 38 egress filtering: customer traffic leaving an AS that
   // validates source addresses must carry a source the AS announces.
@@ -110,24 +320,29 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
     const auto* info = net_.find_as(origin_as);
     if (info != nullptr && info->cfg.source_address_validation &&
         !Network::owns_source(*info, pkt.src)) {
-      ++counters_.dropped_sav;
-      emit(TapEvent::dropped_sav, pkt);
+      ++sh.counters.dropped_sav;
+      emit(sh, TapEvent::dropped_sav, pkt);
       return;
     }
   }
 
-  if (cfg_.loss_rate > 0.0 && rng_.chance(cfg_.loss_rate)) {
-    ++counters_.dropped_loss;
-    emit(TapEvent::dropped_loss, pkt);
+  const util::SimTime at_now = sh.events.now();
+  if (cfg_.loss_rate > 0.0 && loss_drop(origin_as, pkt, at_now)) {
+    ++sh.counters.dropped_loss;
+    emit(sh, TapEvent::dropped_loss, pkt);
     return;
   }
 
   // Cached zero-copy lookup: the view borrows the cache's hop vector,
   // which stays valid for the rest of this (synchronous) function.
-  const auto route = net_.route_view(origin_as, pkt.dst);
+  // Single-shard runs share the Network's default cache (the classic
+  // observable-stats path); sharded runs use this shard's private one.
+  const auto route = single_shard()
+                         ? net_.route_view(origin_as, pkt.dst)
+                         : net_.route_view(sh.route_cache, origin_as, pkt.dst);
   if (!route) {
-    ++counters_.dropped_no_route;
-    emit(TapEvent::dropped_no_route, pkt);
+    ++sh.counters.dropped_no_route;
+    emit(sh, TapEvent::dropped_no_route, pkt);
     return;
   }
 
@@ -138,23 +353,27 @@ void Simulator::inject(Packet pkt, Asn origin_as, bool from_router) {
     const util::Ipv4 router =
         (*route->router_hops)[static_cast<std::size_t>(expiring - 1)];
     const auto router_as = net_.router_owner(router);
-    ++counters_.ttl_expired;
-    emit(TapEvent::ttl_expired, pkt);
+    ++sh.counters.ttl_expired;
+    emit(sh, TapEvent::ttl_expired, pkt);
     const Asn icmp_origin = router_as.value_or(origin_as);
-    events_.schedule_icmp(now() + cfg_.hop_latency * expiring,
-                          IcmpType::ttl_exceeded, std::move(pkt), router,
-                          icmp_origin);
+    schedule_icmp_on(sh, single_shard() ? 0 : shard_of_as(icmp_origin),
+                     at_now + cfg_.hop_latency * expiring,
+                     IcmpType::ttl_exceeded, std::move(pkt), router,
+                     icmp_origin);
     return;
   }
 
+  const HostId dst_host = route->dst_host;
   pkt.ttl -= hops;
-  events_.schedule_deliver(now() + cfg_.hop_latency * (hops + 1),
-                           std::move(pkt), route->dst_host);
+  schedule_deliver_on(sh, single_shard() ? 0 : host_shard_[dst_host],
+                      at_now + cfg_.hop_latency * (hops + 1), std::move(pkt),
+                      dst_host);
 }
 
-void Simulator::deliver(Packet pkt, HostId host) {
-  ++counters_.delivered;
-  emit(TapEvent::delivered, pkt);
+void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
+  assert(single_shard() || host_shard_[host] == sh.index);
+  ++sh.counters.delivered;
+  emit(sh, TapEvent::delivered, pkt);
   HostState* st = find_state(host);
   const Host& h = net_.host(host);
 
@@ -174,19 +393,19 @@ void Simulator::deliver(Packet pkt, HostId host) {
         // The device's IP stack answers (from the address the probe
         // was sent to); forwarding stops. This is the behaviour
         // DNSRoute++ keys on to locate the forwarder on the path.
-        send_icmp(IcmpType::ttl_exceeded, pkt.dst, pkt, h.asn);
+        send_icmp(sh, IcmpType::ttl_exceeded, pkt.dst, pkt, h.asn);
         return;
       }
       ++rule->second.relays;
-      ++counters_.redirected;
-      emit(TapEvent::redirected, pkt);
+      ++sh.counters.redirected;
+      emit(sh, TapEvent::redirected, pkt);
       Packet relayed = std::move(pkt);
       relayed.ttl -= 1;
       relayed.dst = rule->second.target;
       // The relay is host-originated traffic: if this AS enforced SAV
       // the spoofed relay would be dropped, so deployed transparent
       // forwarders only exist behind SAV-free networks.
-      inject(std::move(relayed), h.asn, /*from_router=*/false);
+      inject(sh, std::move(relayed), h.asn, /*from_router=*/false);
       return;
     }
   }
@@ -201,7 +420,7 @@ void Simulator::deliver(Packet pkt, HostId host) {
     }
   }
   if (app == nullptr) {
-    send_icmp(IcmpType::port_unreachable, pkt.dst, pkt, h.asn);
+    send_icmp(sh, IcmpType::port_unreachable, pkt.dst, pkt, h.asn);
     return;
   }
 

@@ -7,20 +7,36 @@
 // packet leg, not per router), which keeps Internet-scale scans cheap
 // while preserving exact TTL and ICMP semantics.
 //
+// The simulator executes on 1..N *shards*: each shard owns a typed
+// EventQueue, a private route cache, counters, a trace buffer, and an
+// RNG stream, and hosts are partitioned AS-granularly across shards.
+// With SimConfig::shards == 1 (the default) everything runs exactly as
+// the classic single-threaded engine. With more shards, each shard
+// runs on its own worker thread under a conservative time-window
+// barrier; cross-shard packets travel through fixed-capacity SPSC
+// mailboxes and are admitted in the documented (time, shard, seq)
+// total order, so an N-shard run is deterministic and its observable
+// outputs match the single-shard run. See "Sharded execution" in
+// docs/architecture.md and "Cross-shard merge rule" in
+// docs/event-engine.md.
+//
 // The static half (AS graph, routing) lives in network.hpp; the event
 // core in event_queue.hpp (scheduler contract: docs/event-engine.md).
 // docs/architecture.md walks through how a packet traverses all three.
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "netsim/event_queue.hpp"
 #include "netsim/network.hpp"
 #include "netsim/packet.hpp"
+#include "netsim/shard_pool.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -54,6 +70,24 @@ struct SimConfig {
   double loss_rate = 0.0;
   int default_ttl = 64;
   std::uint64_t seed = 1;
+
+  // --- sharded execution ("Sharded execution", docs/architecture.md) --
+  /// Number of event-engine shards. 1 = classic single-threaded run.
+  std::uint32_t shards = 1;
+  /// With shards > 1: run shards on worker threads (true) or
+  /// round-robin on the calling thread (false). Results are
+  /// byte-identical either way — the sequential mode exists for
+  /// debugging and for environments without spare cores.
+  bool shard_threads = true;
+  /// SPSC ring slots per directed shard pair; overflow spills to an
+  /// unbounded side vector (counted, never dropped or blocking).
+  std::uint32_t mailbox_capacity = 4096;
+  /// Conservative window length. Zero = auto: hop_latency, the minimum
+  /// cross-shard link latency (every cross-shard event is at least one
+  /// router hop away, since shards split the world AS-granularly).
+  /// Values above hop_latency are clamped down to it — a longer window
+  /// would violate the conservative-admission invariant.
+  util::Duration lookahead = util::Duration::nanos(0);
 };
 
 struct SimCounters {
@@ -65,6 +99,38 @@ struct SimCounters {
   std::uint64_t ttl_expired = 0;
   std::uint64_t icmp_generated = 0;
   std::uint64_t redirected = 0;
+
+  friend bool operator==(const SimCounters&, const SimCounters&) = default;
+};
+
+/// One built-in packet-trace record. `(at, shard, seq)` is the
+/// documented cross-shard total order; the remaining fields identify
+/// the packet decision the tap observed.
+struct TraceRecord {
+  std::int64_t at = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;  // per-shard emission sequence
+  TapEvent ev = TapEvent::sent;
+  std::uint8_t proto = 0;
+  std::int32_t ttl = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Per-shard execution statistics (sharded runs).
+struct ShardStats {
+  std::uint64_t events_executed = 0;
+  /// Cross-shard messages this shard admitted at window barriers.
+  std::uint64_t mailbox_in = 0;
+  /// Messages that spilled past a mailbox ring's fixed capacity.
+  std::uint64_t mailbox_overflows = 0;
+  /// CPU seconds this shard spent executing windows + admissions —
+  /// max over shards approximates the parallel critical path.
+  double busy_seconds = 0.0;
 };
 
 struct SendOptions {
@@ -78,25 +144,36 @@ struct SendOptions {
   std::optional<int> ttl;
 };
 
-class Simulator : private PacketSink {
+class Simulator {
  public:
   explicit Simulator(SimConfig cfg = {});
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   Network& net() { return net_; }
   const Network& net() const { return net_; }
 
-  [[nodiscard]] util::SimTime now() const { return events_.now(); }
+  /// Current simulated time: the executing shard's clock from inside a
+  /// handler; the (synchronized) global clock from outside a run.
+  [[nodiscard]] util::SimTime now() const;
   /// Legacy closure shim (see docs/event-engine.md for the migration
   /// guide); hot-path timers should prefer schedule_timer below.
-  void schedule(util::Duration delay, EventQueue::Action action) {
-    events_.schedule_at(now() + delay, std::move(action));
-  }
+  /// Shard affinity: the executing shard from inside a handler, shard
+  /// 0 from outside.
+  void schedule(util::Duration delay, EventQueue::Action action);
   /// Typed, allocation-free timer: fires target->on_timer(a, b) after
-  /// `delay`. The argument words are the target's to interpret.
+  /// `delay`. The argument words are the target's to interpret. Shard
+  /// affinity as for schedule().
   void schedule_timer(util::Duration delay, TimerTarget* target,
-                      std::uint64_t a, std::uint64_t b = 0) {
-    events_.schedule_timer(now() + delay, target, a, b);
-  }
+                      std::uint64_t a, std::uint64_t b = 0);
+  /// Shard-affine timer: schedules on the shard owning `affinity`, so
+  /// the target fires on the thread that owns its host state. Required
+  /// for timers armed from outside the event loop (scanner pacing)
+  /// when shards > 1; equivalent to schedule_timer when shards == 1.
+  void schedule_timer_on(HostId affinity, util::Duration delay,
+                         TimerTarget* target, std::uint64_t a,
+                         std::uint64_t b = 0);
   /// Runs until no events remain (or deadline passes).
   void run();
   void run_until(util::SimTime deadline);
@@ -107,11 +184,34 @@ class Simulator : private PacketSink {
   /// closure engine (per-event std::function allocation), reproducing
   /// the pre-pool cost model. Event order and all observable behaviour
   /// are identical in both modes. Only valid while no events are
-  /// pending.
-  void set_typed_events_enabled(bool on) { events_.set_legacy_mode(!on); }
-  [[nodiscard]] bool typed_events_enabled() const {
-    return !events_.legacy_mode();
+  /// pending, and only on a single-shard simulator (the sharded
+  /// runtime is typed-only).
+  void set_typed_events_enabled(bool on);
+  [[nodiscard]] bool typed_events_enabled() const;
+
+  // --- sharding ------------------------------------------------------
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
   }
+  /// Shard owning a host (AS-granular partition; freezes the partition
+  /// on first use, lazily refreshed when the topology epoch moves).
+  [[nodiscard]] std::uint32_t shard_of(HostId host);
+  /// Shard-count-independent partition group of an address's owner AS
+  /// (see kVirtualShards): target lists interleaved by virtual shard
+  /// keep every real shard busy for any real shard count without
+  /// changing the probe order between shard counts.
+  [[nodiscard]] std::uint32_t virtual_shard_of(util::Ipv4 addr) const;
+  [[nodiscard]] const ShardStats& shard_stats(std::uint32_t shard) const;
+  [[nodiscard]] const SimCounters& shard_counters(std::uint32_t shard) const;
+  [[nodiscard]] const RouteCacheStats& shard_route_cache_stats(
+      std::uint32_t shard) const;
+
+  /// Hosts/ASes are partitioned into this many *virtual* shards, which
+  /// map onto real shards by modulo. The virtual partition is
+  /// shard-count-independent, so workload-partitioning decisions keyed
+  /// on it (scanner target interleaving) produce identical event
+  /// content for every real shard count.
+  static constexpr std::uint32_t kVirtualShards = 64;
 
   // --- socket API ----------------------------------------------------
   void bind_udp(HostId host, std::uint16_t port, App* app);
@@ -130,17 +230,48 @@ class Simulator : private PacketSink {
   [[nodiscard]] std::uint64_t redirect_relays(HostId host) const;
 
   /// Sends a UDP datagram from `from`. The source defaults to the
-  /// host's first address.
+  /// host's first address. From inside a handler, must be called on
+  /// the shard that owns `from` (apps always are).
   void send_udp(HostId from, SendOptions opts);
 
-  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
-  [[nodiscard]] const SimCounters& counters() const { return counters_; }
-  [[nodiscard]] const SimConfig& config() const { return cfg_; }
-  [[nodiscard]] std::uint64_t events_executed() const {
-    return events_.executed();
+  /// External taps are invoked synchronously on the emitting shard's
+  /// thread; they are supported on single-shard simulators (the
+  /// classic observability path). On a multi-shard simulator the call
+  /// is rejected (debug assert, release no-op): taps would run
+  /// concurrently from every shard thread. Sharded runs use the
+  /// built-in trace recorder below instead, which is per-shard and
+  /// lock-free.
+  void add_tap(Tap tap) {
+    if (!single_shard()) {
+      assert(false && "add_tap is single-shard only; use the trace recorder");
+      return;
+    }
+    taps_.push_back(std::move(tap));
   }
 
+  // --- built-in packet trace ----------------------------------------
+  void set_packet_trace_enabled(bool on) { trace_enabled_ = on; }
+  [[nodiscard]] bool packet_trace_enabled() const { return trace_enabled_; }
+  [[nodiscard]] const std::vector<TraceRecord>& shard_trace(
+      std::uint32_t shard) const;
+  /// All shards' records merged in the documented (time, shard, seq)
+  /// total order. Deterministic for a fixed shard count.
+  [[nodiscard]] std::vector<TraceRecord> merged_trace() const;
+  /// Content-canonical digest: records sorted by (time, packet
+  /// content) with shard/seq excluded, then FNV-hashed. Two runs of
+  /// the same workload produce equal digests iff they made the same
+  /// packet decisions at the same times — the shard-count-invariant
+  /// comparison the determinism suite is built on.
+  [[nodiscard]] std::uint64_t canonical_trace_digest() const;
+
+  [[nodiscard]] const SimCounters& counters() const;
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t events_executed() const;
+
  private:
+  struct Shard;
+  friend struct Shard;
+
   struct Redirect {
     util::Ipv4 target;
     std::uint64_t relays = 0;
@@ -153,34 +284,81 @@ class Simulator : private PacketSink {
   };
 
   /// Grows the dense host-state table on demand and returns the slot.
+  /// Sharded runs presize the table at partition freeze, so shard
+  /// threads never reallocate it.
   HostState& state(HostId id);
   /// O(1) indexed lookup; nullptr for hosts that never had state set.
   [[nodiscard]] HostState* find_state(HostId id) {
     return id < host_state_.size() ? &host_state_[id] : nullptr;
   }
-  void emit(TapEvent ev, const Packet& pkt);
-  /// Injects a packet into the network from `origin_as`. `from_router`
-  /// marks infrastructure-originated traffic (ICMP), which is exempt
-  /// from SAV.
-  void inject(Packet pkt, Asn origin_as, bool from_router);
-  void deliver(Packet pkt, HostId host);
-  // PacketSink: pooled packet events dispatch back into the plane.
-  void deliver_event(Packet&& pkt, HostId host) override;
-  void icmp_event(IcmpType type, Packet&& offender, util::Ipv4 router,
-                  Asn origin_as) override;
-  void send_icmp(IcmpType type, util::Ipv4 from, const Packet& offender,
-                 Asn origin_as);
+
+  [[nodiscard]] bool single_shard() const { return shards_.size() == 1; }
+  [[nodiscard]] util::Duration lookahead() const;
+  /// (Re)computes host/AS -> shard maps; idempotent per topology epoch.
+  void freeze_partition();
+  [[nodiscard]] std::uint32_t shard_of_as(Asn asn) const;
+  /// Executing-shard context (set during event execution), or shard 0.
+  [[nodiscard]] Shard& active_shard() const;
+  void run_windows(util::SimTime deadline, bool advance_clocks);
+  void run_shard_window(Shard& sh, util::SimTime wend);
+  void admit_mailboxes(Shard& sh);
+  [[nodiscard]] util::SimTime next_event_time() const;
+
+  void emit(Shard& sh, TapEvent ev, const Packet& pkt);
+  /// Per-packet loss decision: a hash of (seed, packet identity, time)
+  /// — not an RNG stream draw — so the decision is independent of
+  /// event interleaving and of the shard count. Byte-identical packets
+  /// injected at the same instant (synthetic bursts; real traffic
+  /// varies ports/txids) are disambiguated by a per-origin-AS burst
+  /// counter, which is shard-safe because an AS is owned by exactly
+  /// one shard.
+  [[nodiscard]] bool loss_drop(Asn origin_as, const Packet& pkt,
+                               util::SimTime at);
+  /// Injects a packet into the network from `origin_as` on shard `sh`
+  /// (which must own the origin). `from_router` marks infrastructure-
+  /// originated traffic (ICMP), which is exempt from SAV.
+  void inject(Shard& sh, Packet pkt, Asn origin_as, bool from_router);
+  void deliver(Shard& sh, Packet pkt, HostId host);
+  void send_icmp(Shard& sh, IcmpType type, util::Ipv4 from,
+                 const Packet& offender, Asn origin_as);
+  /// Routes a packet-plane event to its owning shard: locally when
+  /// `sh` owns it, else through the SPSC mailbox toward `dst_shard`.
+  void schedule_deliver_on(Shard& sh, std::uint32_t dst_shard,
+                           util::SimTime at, Packet&& pkt, HostId host);
+  void schedule_icmp_on(Shard& sh, std::uint32_t dst_shard, util::SimTime at,
+                        IcmpType type, Packet&& offender, util::Ipv4 router,
+                        Asn origin_as);
+
+  static thread_local Shard* tl_shard_;
+  static thread_local const Simulator* tl_owner_;
 
   SimConfig cfg_;
   Network net_;
-  EventQueue events_;
-  util::Rng rng_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardPool pool_;
   // Dense per-host state indexed by HostId (host ids are allocated
   // contiguously by Network::add_host), so deliver() and the redirect
-  // path index in O(1) instead of hashing per packet.
+  // path index in O(1) instead of hashing per packet. Each host's
+  // state is only ever touched by the shard that owns the host.
   std::vector<HostState> host_state_;
+  /// Identical-duplicate disambiguation for loss_drop, indexed by AS
+  /// index (each slot written only by the AS's owning shard). Presized
+  /// at partition freeze for sharded runs. `seen` counts occurrences
+  /// per content hash within the current nanosecond, so the fates
+  /// drawn at one instant are a pure function of the packet multiset —
+  /// independent of the order same-instant packets interleave in.
+  struct LossBurst {
+    std::int64_t at = -1;
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> seen;
+  };
+  std::vector<LossBurst> loss_burst_;
   std::vector<Tap> taps_;
-  SimCounters counters_;
+  bool trace_enabled_ = false;
+  // Partition maps, valid while partition_epoch_ == net_.topology_epoch().
+  std::vector<std::uint32_t> host_shard_;
+  std::vector<std::uint32_t> as_shard_;  // by AS index
+  std::uint64_t partition_epoch_ = 0;
+  mutable SimCounters agg_counters_;
 };
 
 }  // namespace odns::netsim

@@ -48,8 +48,10 @@ ConnectionPtr StreamEndpoint::connect(util::Ipv4 addr, std::uint16_t port) {
   transmit(conn, Segment{SegmentKind::syn, {}});
   // A handshake whose SYN-ACK never arrives (or arrived from a peer we
   // do not recognize — the transparent-relay case) must fail loudly.
-  sim_->schedule_timer(connect_timeout_, this,
-                       key(addr, port, conn->local_port), conn->id);
+  // Shard-affine: connect() may be called from outside the event loop,
+  // and the timeout must fire on the shard that owns this endpoint.
+  sim_->schedule_timer_on(host_, connect_timeout_, this,
+                          key(addr, port, conn->local_port), conn->id);
   return conn;
 }
 

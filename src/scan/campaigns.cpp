@@ -13,7 +13,8 @@ std::string to_string(CampaignKind k) {
 
 StatelessCampaign::StatelessCampaign(netsim::Simulator& sim,
                                      netsim::HostId host, CampaignConfig cfg)
-    : sim_(&sim), host_(host), cfg_(std::move(cfg)) {
+    : sim_(&sim), host_(host), cfg_(std::move(cfg)),
+      next_port_(cfg_.port_base) {
   sim_->bind_udp_wildcard(host_, this);
 }
 
@@ -22,7 +23,8 @@ void StatelessCampaign::run(const std::vector<util::Ipv4>& targets) {
       1e9 / static_cast<double>(cfg_.probes_per_second)));
   util::Duration at = util::Duration::nanos(0);
   for (auto target : targets) {
-    sim_->schedule_timer(at, this, target.value());
+    // Shard-affine pacing (run() is called from outside the event loop).
+    sim_->schedule_timer_on(host_, at, this, target.value());
     at = at + gap;
   }
   sim_->run();
@@ -36,8 +38,9 @@ void StatelessCampaign::on_timer(std::uint64_t target_bits, std::uint64_t) {
 
 void StatelessCampaign::send_probe(util::Ipv4 target) {
   const std::uint16_t port = next_port_;
-  next_port_ = next_port_ >= 65000 ? 2048
-                                   : static_cast<std::uint16_t>(next_port_ + 1);
+  next_port_ = next_port_ >= cfg_.port_limit
+                   ? cfg_.port_base
+                   : static_cast<std::uint16_t>(next_port_ + 1);
   probe_target_by_port_[port] = target;
   netsim::SendOptions opts;
   opts.dst = target;

@@ -35,6 +35,10 @@ struct CampaignConfig {
   dnswire::RrType qtype = dnswire::RrType::a;
   std::uint64_t probes_per_second = 20000;
   util::Duration settle = util::Duration::seconds(25);
+  /// Ephemeral source-port pool [port_base, port_limit]; wraps back to
+  /// port_base when exhausted (previously hard-coded 2048/65000).
+  std::uint16_t port_base = 2048;
+  std::uint16_t port_limit = 65000;
 };
 
 class StatelessCampaign : public netsim::App, public netsim::TimerTarget {
@@ -75,7 +79,7 @@ class StatelessCampaign : public netsim::App, public netsim::TimerTarget {
   std::unordered_set<util::Ipv4> discovered_;
   std::uint64_t responses_ = 0;
   std::uint64_t dropped_sanitize_ = 0;
-  std::uint16_t next_port_ = 2048;
+  std::uint16_t next_port_;  // starts at cfg_.port_base
   std::uint16_t next_txid_ = 1;
   util::SimTime last_send_at_;
 };

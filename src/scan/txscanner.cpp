@@ -44,13 +44,42 @@ void TransactionalScanner::send_probe(util::Ipv4 target) {
   sim_->send_udp(host_, std::move(opts));
 }
 
+std::vector<util::Ipv4> TransactionalScanner::partition_targets(
+    const std::vector<util::Ipv4>& targets) const {
+  // Group by virtual shard (stable within each group), then emit
+  // round-robin across the non-empty groups. Keyed on the virtual
+  // partition, the order — and with it every (port, txid) assignment —
+  // is independent of the real shard count.
+  std::vector<std::vector<util::Ipv4>> groups(
+      netsim::Simulator::kVirtualShards);
+  for (auto target : targets) {
+    groups[sim_->virtual_shard_of(target)].push_back(target);
+  }
+  std::vector<util::Ipv4> ordered;
+  ordered.reserve(targets.size());
+  for (std::size_t round = 0; ordered.size() < targets.size(); ++round) {
+    for (const auto& group : groups) {
+      if (round < group.size()) ordered.push_back(group[round]);
+    }
+  }
+  return ordered;
+}
+
 void TransactionalScanner::start(const std::vector<util::Ipv4>& targets) {
   const auto gap = util::Duration::nanos(
       static_cast<std::int64_t>(1e9 / static_cast<double>(
                                           cfg_.probes_per_second)));
+  const std::vector<util::Ipv4>* paced = &targets;
+  std::vector<util::Ipv4> interleaved;
+  if (cfg_.shard_interleave) {
+    interleaved = partition_targets(targets);
+    paced = &interleaved;
+  }
   util::Duration at = util::Duration::nanos(0);
-  for (auto target : targets) {
-    sim_->schedule_timer(at, this, target.value());
+  for (auto target : *paced) {
+    // Shard-affine pacing: start() runs outside the event loop, so the
+    // timers must land on the shard owning the scanner host.
+    sim_->schedule_timer_on(host_, at, this, target.value());
     at = at + gap;
   }
   last_send_at_ = sim_->now() + at;
@@ -63,7 +92,7 @@ void TransactionalScanner::on_timer(std::uint64_t target_bits, std::uint64_t) {
 void TransactionalScanner::run_to_completion() {
   // Drain all traffic, then let the timeout window close.
   sim_->run();
-  sim_->run_until(last_send_at_ + cfg_.timeout + util::Duration::seconds(1));
+  sim_->run_until(last_send_at_ + cfg_.timeout + cfg_.drain_settle);
   sim_->run();
 }
 

@@ -28,6 +28,17 @@ struct ScanConfig {
   std::uint64_t probes_per_second = 20000;
   std::uint16_t port_base = 1024;
   std::uint16_t port_limit = 65535;
+  /// Extra drain window run_to_completion() appends after the timeout
+  /// so straggling in-flight events (late responses, ICMP) settle.
+  util::Duration drain_settle = util::Duration::seconds(1);
+  /// Reorders the target list round-robin over the simulator's
+  /// *virtual* shards (Simulator::kVirtualShards) before pacing, so a
+  /// sharded run keeps every shard busy in every pacing window. The
+  /// virtual partition is shard-count-independent: the probe schedule
+  /// (and therefore every result table) is identical for any shard
+  /// count, interleaved or not — this only changes which targets are
+  /// adjacent in time. Off by default to preserve the classic order.
+  bool shard_interleave = false;
 };
 
 struct SentProbe {
@@ -113,6 +124,10 @@ class TransactionalScanner : public netsim::App, public netsim::TimerTarget {
  private:
   void send_probe(util::Ipv4 target);
   std::pair<std::uint16_t, std::uint16_t> next_tuple();
+  /// Round-robin interleave of `targets` over the simulator's virtual
+  /// shards (see ScanConfig::shard_interleave).
+  [[nodiscard]] std::vector<util::Ipv4> partition_targets(
+      const std::vector<util::Ipv4>& targets) const;
 
   netsim::Simulator* sim_;
   netsim::HostId host_;

@@ -1,0 +1,24 @@
+#pragma once
+// Shared non-cryptographic hash primitives. Everything that
+// fingerprints simulation output (trace digests, bench A/B hashes)
+// goes through this one FNV-1a implementation so the digests two
+// tools compute cannot silently drift apart.
+
+#include <cstdint>
+
+namespace odns::util {
+
+inline constexpr std::uint64_t kFnv1aBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Folds the 8 bytes of `v` (little-endian order) into FNV-1a state.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::uint64_t h,
+                                              std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFFu;
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace odns::util

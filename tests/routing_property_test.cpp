@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "netsim/sim.hpp"
 #include "util/rng.hpp"
 
@@ -20,8 +22,11 @@ struct RandomWorld {
 };
 
 /// Random connected topology: a tree plus extra chords.
-RandomWorld make_world(std::uint64_t seed, int n_ases) {
-  RandomWorld w;
+std::unique_ptr<RandomWorld> make_world(std::uint64_t seed, int n_ases) {
+  // Heap-allocated: Simulator is pinned in memory (its shards hold
+  // back-pointers), so RandomWorld is not movable.
+  auto wp = std::make_unique<RandomWorld>();
+  RandomWorld& w = *wp;
   Rng rng{seed};
   auto& net = w.sim.net();
   for (int i = 0; i < n_ases; ++i) {
@@ -45,13 +50,14 @@ RandomWorld make_world(std::uint64_t seed, int n_ases) {
     w.hosts.push_back(
         net.add_host(w.asns[static_cast<std::size_t>(i)], {addr}));
   }
-  return w;
+  return wp;
 }
 
 class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoutingProperty, HopCountEqualsSumOfInternalHops) {
-  auto w = make_world(GetParam(), 24);
+  auto wp = make_world(GetParam(), 24);
+  auto& w = *wp;
   const auto& net = w.sim.net();
   Rng rng{GetParam() ^ 1};
   for (int trial = 0; trial < 60; ++trial) {
@@ -76,7 +82,8 @@ TEST_P(RoutingProperty, HopCountEqualsSumOfInternalHops) {
 }
 
 TEST_P(RoutingProperty, EveryRouterHopBelongsToAnAsOnThePath) {
-  auto w = make_world(GetParam(), 16);
+  auto wp = make_world(GetParam(), 16);
+  auto& w = *wp;
   const auto& net = w.sim.net();
   Rng rng{GetParam() ^ 2};
   for (int trial = 0; trial < 40; ++trial) {
@@ -107,7 +114,8 @@ class CountingSink : public App {
 TEST_P(RoutingProperty, ExactTtlDeliveryBoundary) {
   // A packet with TTL exactly equal to the router-hop count expires at
   // the last router; TTL = hops + 1 is delivered with 1 remaining.
-  auto w = make_world(GetParam(), 12);
+  auto wp = make_world(GetParam(), 12);
+  auto& w = *wp;
   auto& net = w.sim.net();
   Rng rng{GetParam() ^ 3};
   const auto from = w.hosts[0];
@@ -144,7 +152,8 @@ TEST_P(RoutingProperty, ExactTtlDeliveryBoundary) {
 TEST_P(RoutingProperty, TracerouteReconstructsTheRoute) {
   // Probing with increasing TTLs yields exactly the route's router
   // list, in order — the invariant DNSRoute++ builds on.
-  auto w = make_world(GetParam(), 10);
+  auto wp = make_world(GetParam(), 10);
+  auto& w = *wp;
   auto& net = w.sim.net();
   const auto from = w.hosts[1];
   const auto to = w.hosts[w.hosts.size() - 2];
@@ -169,7 +178,8 @@ TEST_P(RoutingProperty, TracerouteReconstructsTheRoute) {
 }
 
 TEST_P(RoutingProperty, SpoofingOnlyEscapesSavFreeAses) {
-  auto w = make_world(GetParam(), 14);
+  auto wp = make_world(GetParam(), 14);
+  auto& w = *wp;
   auto& net = w.sim.net();
   Rng rng{GetParam() ^ 4};
   const Ipv4 foreign{203, 0, 113, 7};

@@ -1,0 +1,294 @@
+// Determinism suite for the sharded simulator (docs/architecture.md,
+// "Sharded execution"): N-shard runs (N = 1, 2, 4) must produce
+// byte-identical SimCounters, packet traces, and census/classification
+// output versus the single-threaded engine, on worker threads and
+// sequentially, for several seeds, with loss, and under mailbox
+// backpressure. The cross-shard merge rule under test is documented in
+// docs/event-engine.md ("Cross-shard merge rule").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "classify/analysis.hpp"
+#include "core/census.hpp"
+#include "nodes/forwarder.hpp"
+#include "scan/txscanner.hpp"
+#include "testutil.hpp"
+
+namespace odns {
+namespace {
+
+using netsim::HostId;
+using netsim::ShardStats;
+using netsim::SimConfig;
+using netsim::SimCounters;
+using netsim::Simulator;
+using netsim::TraceRecord;
+using nodes::TransparentForwarder;
+using test::MiniWorld;
+using util::Duration;
+using util::Ipv4;
+using util::Prefix;
+
+/// Summary of one MiniWorld scan run: everything the engine promises
+/// to keep invariant across shard counts.
+struct RunFingerprint {
+  SimCounters counters;
+  std::uint64_t trace_digest = 0;
+  std::string transactions;
+  std::uint64_t events = 0;
+
+  friend bool operator==(const RunFingerprint&, const RunFingerprint&) =
+      default;
+};
+
+std::string render_transactions(const std::vector<scan::Transaction>& txns) {
+  std::ostringstream out;
+  for (const auto& t : txns) {
+    out << t.target.to_string() << ' ' << t.answered << ' '
+        << t.response_src.to_string() << ' ' << t.rtt.count_nanos() << ' '
+        << static_cast<int>(t.rcode);
+    for (const auto& a : t.answer_addrs) out << ' ' << a.to_string();
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// MiniWorld + a row of transparent forwarders relaying to the open
+/// resolver: the full census packet flow (probe → TF relay → resolver
+/// iteration through root/TLD/auth → mirror answer → response straight
+/// back to the scanner), which crosses shards on every leg when the
+/// five ASes are partitioned.
+RunFingerprint run_mini_scan(SimConfig cfg, int forwarders,
+                             bool interleave = false) {
+  MiniWorld world(cfg);
+  world.sim.set_packet_trace_enabled(true);
+
+  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+  std::vector<Ipv4> targets;
+  for (int i = 0; i < forwarders; ++i) {
+    const Ipv4 addr{20, 0, 9, static_cast<std::uint8_t>(1 + i)};
+    const HostId host = world.add_access_host(addr);
+    tfs.push_back(std::make_unique<TransparentForwarder>(
+        world.sim, host, test::kResolverAddr));
+    tfs.back()->install();
+    targets.push_back(addr);
+  }
+  targets.push_back(test::kResolverAddr);
+  targets.push_back(Ipv4{20, 0, 9, 200});  // unresponsive: ICMP path
+
+  scan::ScanConfig sc;
+  sc.qname = world.scan_name;
+  sc.timeout = Duration::seconds(4);
+  sc.shard_interleave = interleave;
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  scanner.start(targets);
+  scanner.run_to_completion();
+
+  RunFingerprint fp;
+  fp.counters = world.sim.counters();
+  fp.trace_digest = world.sim.canonical_trace_digest();
+  fp.transactions = render_transactions(scanner.correlate());
+  fp.events = world.sim.events_executed();
+  return fp;
+}
+
+SimConfig sharded_cfg(std::uint32_t shards, bool threads,
+                      std::uint64_t seed = 2021) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  cfg.shard_threads = threads;
+  return cfg;
+}
+
+TEST(ShardedDeterminism, MiniScanInvariantAcrossShardCounts) {
+  for (const std::uint64_t seed : {1ull, 7ull, 2021ull}) {
+    const auto reference = run_mini_scan(sharded_cfg(1, false, seed), 6);
+    for (const std::uint32_t shards : {2u, 4u}) {
+      for (const bool threads : {false, true}) {
+        const auto fp = run_mini_scan(sharded_cfg(shards, threads, seed), 6);
+        EXPECT_EQ(fp, reference)
+            << "shards=" << shards << " threads=" << threads
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, LossyRunsInvariantAcrossShardCounts) {
+  // The stateless per-packet loss hash must keep drop decisions
+  // identical for every shard count (an RNG stream draw would not).
+  SimConfig base = sharded_cfg(1, false, 99);
+  base.loss_rate = 0.12;
+  const auto reference = run_mini_scan(base, 5);
+  EXPECT_GT(reference.counters.dropped_loss, 0u);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    SimConfig cfg = sharded_cfg(shards, true, 99);
+    cfg.loss_rate = 0.12;
+    EXPECT_EQ(run_mini_scan(cfg, 5), reference) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, InterleavedTargetsInvariantAcrossShardCounts) {
+  // shard_interleave reorders pacing by the *virtual* partition, so
+  // the schedule — and every downstream table — is still identical
+  // for any real shard count (including the single-threaded engine).
+  const auto reference = run_mini_scan(sharded_cfg(1, false), 6, true);
+  for (const std::uint32_t shards : {2u, 4u}) {
+    EXPECT_EQ(run_mini_scan(sharded_cfg(shards, true), 6, true), reference)
+        << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, ThreadedRunsAreReproducibleEventForEvent) {
+  // Stronger than the canonical digest: two threaded runs of the same
+  // config must agree on the full (time, shard, seq) merged trace —
+  // thread scheduling may never leak into event order.
+  auto run_trace = [](bool threads) {
+    MiniWorld world(sharded_cfg(4, threads));
+    world.sim.set_packet_trace_enabled(true);
+    scan::ScanConfig sc;
+    sc.qname = world.scan_name;
+    sc.timeout = Duration::seconds(2);
+    scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+    scanner.start({test::kResolverAddr, Ipv4{20, 0, 9, 200}});
+    scanner.run_to_completion();
+    return world.sim.merged_trace();
+  };
+  const std::vector<TraceRecord> first = run_trace(true);
+  const std::vector<TraceRecord> second = run_trace(true);
+  const std::vector<TraceRecord> sequential = run_trace(false);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The sequential scheduler is the executable spec of the windowed
+  // protocol: worker threads must reproduce it exactly.
+  EXPECT_EQ(first, sequential);
+}
+
+TEST(ShardedDeterminism, MailboxBackpressureSpillsWithoutDivergence) {
+  const auto reference = run_mini_scan(sharded_cfg(1, false), 8);
+  SimConfig tiny = sharded_cfg(4, true);
+  tiny.mailbox_capacity = 2;  // force the overflow spill path
+  const auto fp = run_mini_scan(tiny, 8);
+  EXPECT_EQ(fp, reference);
+
+  // Confirm the spill path actually ran and was counted.
+  MiniWorld world(tiny);
+  scan::ScanConfig sc;
+  sc.qname = world.scan_name;
+  sc.timeout = Duration::seconds(2);
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  std::vector<Ipv4> many(32, test::kResolverAddr);
+  scanner.start(many);
+  scanner.run_to_completion();
+  std::uint64_t overflows = 0;
+  std::uint64_t admitted = 0;
+  for (std::uint32_t s = 0; s < world.sim.shard_count(); ++s) {
+    overflows += world.sim.shard_stats(s).mailbox_overflows;
+    admitted += world.sim.shard_stats(s).mailbox_in;
+  }
+  EXPECT_GT(admitted, 0u);
+  EXPECT_GT(overflows, 0u);
+}
+
+TEST(ShardedDeterminism, PerShardRouteCachesServeTheHotPath) {
+  MiniWorld world(sharded_cfg(4, true));
+  scan::ScanConfig sc;
+  sc.qname = world.scan_name;
+  sc.timeout = Duration::seconds(2);
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  std::vector<Ipv4> targets(16, test::kResolverAddr);
+  scanner.start(targets);
+  scanner.run_to_completion();
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint32_t shards_with_traffic = 0;
+  for (std::uint32_t s = 0; s < world.sim.shard_count(); ++s) {
+    const auto& stats = world.sim.shard_route_cache_stats(s);
+    hits += stats.hits;
+    misses += stats.misses;
+    if (world.sim.shard_counters(s).sent > 0) ++shards_with_traffic;
+  }
+  EXPECT_GT(hits, misses);  // repeated destinations are served warm
+  EXPECT_GT(shards_with_traffic, 1u);  // the work really is spread out
+}
+
+TEST(ShardedDeterminism, UncachedRoutingMatchesCachedUnderSharding) {
+  const auto cached = run_mini_scan(sharded_cfg(4, true), 5);
+  MiniWorld world(sharded_cfg(4, true));
+  world.sim.net().set_route_cache_enabled(false);
+  world.sim.set_packet_trace_enabled(true);
+  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+  std::vector<Ipv4> targets;
+  for (int i = 0; i < 5; ++i) {
+    const Ipv4 addr{20, 0, 9, static_cast<std::uint8_t>(1 + i)};
+    const HostId host = world.add_access_host(addr);
+    tfs.push_back(std::make_unique<TransparentForwarder>(
+        world.sim, host, test::kResolverAddr));
+    tfs.back()->install();
+    targets.push_back(addr);
+  }
+  targets.push_back(test::kResolverAddr);
+  targets.push_back(Ipv4{20, 0, 9, 200});
+  scan::ScanConfig sc;
+  sc.qname = world.scan_name;
+  sc.timeout = Duration::seconds(4);
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  scanner.start(targets);
+  scanner.run_to_completion();
+  EXPECT_EQ(world.sim.counters(), cached.counters);
+  EXPECT_EQ(world.sim.canonical_trace_digest(), cached.trace_digest);
+}
+
+TEST(ShardedDeterminism, ClocksSynchronizeAtExplicitDeadlines) {
+  MiniWorld world(sharded_cfg(4, true));
+  scan::ScanConfig sc;
+  sc.qname = world.scan_name;
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  scanner.start({test::kResolverAddr});
+  const auto deadline = util::SimTime::from_nanos(0) + Duration::seconds(30);
+  world.sim.run_until(deadline);
+  EXPECT_EQ(world.sim.now(), deadline);
+}
+
+std::string census_fingerprint(const classify::Census& census) {
+  std::ostringstream out;
+  out << census.rr << '/' << census.rf << '/' << census.tf << '/'
+      << census.invalid << '/' << census.unresponsive << '/'
+      << census.unmapped_country << '\n';
+  for (const auto& [code, report] : census.by_country) {
+    out << code << ':' << report.rr << ',' << report.rf << ',' << report.tf
+        << ',' << report.invalid << ',' << report.unresponsive << ','
+        << report.ases_with_tf << ',' << report.other_indirect << ','
+        << report.other_mapped;
+    for (const auto count : report.tf_by_project) out << ',' << count;
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(ShardedCensus, FullPipelineMatchesSingleThreadedEngine) {
+  // The acceptance bar: core::run_census over a real topo world must
+  // produce an identical classify::Census for N = 1, 2, 4 shards.
+  auto census_for = [](std::uint32_t shards) {
+    core::CensusConfig cfg;
+    cfg.topology.scale = 0.004;
+    cfg.topology.max_countries = 4;
+    cfg.sim_shards = shards;
+    cfg.shard_interleaved_targets = true;
+    const auto result = core::run_census(cfg);
+    return census_fingerprint(result.census);
+  };
+  const std::string reference = census_for(1);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(census_for(2), reference);
+  EXPECT_EQ(census_for(4), reference);
+}
+
+}  // namespace
+}  // namespace odns
