@@ -209,6 +209,27 @@ DeviceReport device_attribution(const Census& census,
   return report;
 }
 
+std::vector<VantageReport> vantage_breakdown(
+    const std::vector<Classified>& classified) {
+  std::vector<VantageReport> rows;
+  for (const auto& item : classified) {
+    const std::uint32_t v = item.txn.vantage;
+    if (v >= rows.size()) rows.resize(v + 1);
+    VantageReport& row = rows[v];
+    switch (item.klass) {
+      case Klass::recursive_resolver: ++row.rr; break;
+      case Klass::recursive_forwarder: ++row.rf; break;
+      case Klass::transparent_forwarder: ++row.tf; break;
+      case Klass::invalid: ++row.invalid; break;
+      case Klass::unresponsive: ++row.unresponsive; break;
+    }
+  }
+  for (std::size_t v = 0; v < rows.size(); ++v) {
+    rows[v].vantage = static_cast<std::uint32_t>(v);
+  }
+  return rows;
+}
+
 AsClassificationReport classify_ases(const Census& census,
                                      const registry::RegistrySnapshot& registry,
                                      std::size_t top_n) {

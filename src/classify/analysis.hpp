@@ -90,6 +90,30 @@ struct Census {
 [[nodiscard]] Census analyze(const std::vector<Classified>& classified,
                              const registry::RegistrySnapshot& registry);
 
+/// Per-vantage composition of a multi-vantage scan: what each capture
+/// host observed, by class — the multi-campaign comparison surface
+/// (each vantage is an independent concurrent measurement of the same
+/// infrastructure; the paper's point is that their union, not any
+/// single one, is the census). Vantage attribution is an execution
+/// detail (it depends on the shard count), so this is a diagnostic
+/// view, never an input to the Census tables. A single-vantage scan
+/// yields one row.
+struct VantageReport {
+  std::uint32_t vantage = 0;
+  std::uint64_t rr = 0;
+  std::uint64_t rf = 0;
+  std::uint64_t tf = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t unresponsive = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return rr + rf + tf + invalid + unresponsive;
+  }
+};
+
+[[nodiscard]] std::vector<VantageReport> vantage_breakdown(
+    const std::vector<Classified>& classified);
+
 // --- §6 / Appendix E analyses ----------------------------------------
 
 struct DeviceReport {

@@ -9,17 +9,38 @@ CensusResult run_census(const CensusConfig& cfg) {
   result.world = topo::TopologyBuilder::build(topology);
   result.registry =
       registry::RegistrySnapshot::derive(*result.world, cfg.registry);
+  auto& sim = result.world->sim();
+
+  const std::vector<util::Ipv4> targets = result.world->scan_targets();
+  if (cfg.weighted_partition && sim.shard_count() > 1) {
+    // Balance the AS partition by expected event load: the dominant
+    // per-shard cost of a census is serving + capturing its probe
+    // targets, so probe-target counts per virtual shard are the hint.
+    std::vector<std::uint64_t> weights(netsim::Simulator::kVirtualShards, 0);
+    for (const auto target : targets) ++weights[sim.virtual_shard_of(target)];
+    sim.set_partition_load_hints(std::move(weights));
+  }
 
   scan::ScanConfig sc;
   sc.qname = result.world->scan_name();
   sc.timeout = cfg.scan_timeout;
   sc.probes_per_second = cfg.probes_per_second;
   sc.shard_interleave = cfg.shard_interleaved_targets;
-  result.scanner = std::make_unique<scan::TransactionalScanner>(
-      result.world->sim(), result.world->scanner_host(), sc);
-  result.scanner->start(result.world->scan_targets());
-  result.scanner->run_to_completion();
-  result.transactions = result.scanner->correlate();
+  if (cfg.vantages > 0) {
+    auto members =
+        honeypot::attach_capture_vantages(*result.world, cfg.vantages);
+    result.vantage_set = std::make_unique<scan::VantageSet>(
+        sim, sc, result.world->scanner_addr(), std::move(members));
+    result.vantage_set->start(targets);
+    result.vantage_set->run_to_completion();
+    result.transactions = result.vantage_set->correlate();
+  } else {
+    result.scanner = std::make_unique<scan::TransactionalScanner>(
+        sim, result.world->scanner_host(), sc);
+    result.scanner->start(targets);
+    result.scanner->run_to_completion();
+    result.transactions = result.scanner->correlate();
+  }
 
   classify::ClassifyConfig cc;
   cc.control_addr = result.world->control_addr();
@@ -77,6 +98,10 @@ DnsrouteResult run_dnsroute(CensusResult& result, int max_ttl) {
   rc.max_ttl = max_ttl;
   DnsrouteResult out;
   {
+    // DNSRoute++ traces from the classic scanner host, so its probes'
+    // responses (and ICMP) must reach that host again — turn off the
+    // multi-vantage capture override for the remainder of the run.
+    result.world->sim().clear_vantage_capture();
     dnsroute::DnsroutePlusPlus tracer(result.world->sim(),
                                       result.world->scanner_host(), rc);
     out.paths = tracer.run(targets);

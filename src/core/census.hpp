@@ -17,6 +17,7 @@
 #include "honeypot/lab.hpp"
 #include "scan/campaigns.hpp"
 #include "scan/txscanner.hpp"
+#include "scan/vantage.hpp"
 #include "topo/deployment.hpp"
 
 namespace odns::core {
@@ -39,6 +40,21 @@ struct CensusConfig {
   /// scan::ScanConfig::shard_interleave; probe order then differs from
   /// the classic census, but is identical for every shard count).
   bool shard_interleaved_targets = false;
+  /// Multi-vantage census: number of per-shard scanner vantage capture
+  /// hosts (attached via honeypot::attach_capture_vantages and driven
+  /// by scan::VantageSet). 0 = the classic single-vantage scanner.
+  /// Counters, traces, transactions, and the resulting Census tables
+  /// are byte-identical to the single-vantage run for any value; what
+  /// changes is execution: with vantages >= shards the scanner shard
+  /// stops being the response funnel. See "Multi-vantage census" in
+  /// docs/architecture.md.
+  std::uint32_t vantages = 0;
+  /// Weighted virtual-shard partition: derive per-virtual-shard load
+  /// hints from the probe-target counts and balance the AS partition
+  /// by expected event load instead of round-robin (see
+  /// netsim::Simulator::set_partition_load_hints). Execution-only; on
+  /// by default for sharded runs.
+  bool weighted_partition = true;
 };
 
 /// Host offset inside a campaign's vantage prefix (the address the
@@ -49,7 +65,10 @@ inline constexpr std::uint32_t kCampaignVantageHostOffset = 7;
 struct CensusResult {
   std::unique_ptr<topo::Deployment> world;
   registry::RegistrySnapshot registry;
+  /// Single-vantage scanner (null when the census ran multi-vantage).
   std::unique_ptr<scan::TransactionalScanner> scanner;
+  /// Multi-vantage capture set (null for the classic census).
+  std::unique_ptr<scan::VantageSet> vantage_set;
   std::vector<scan::Transaction> transactions;
   std::vector<classify::Classified> classified;
   classify::Census census;
@@ -59,7 +78,9 @@ struct CensusResult {
 [[nodiscard]] CensusResult run_census(const CensusConfig& cfg);
 
 /// Re-classifies and re-analyzes an existing scan under different
-/// validation rules (cheap; reuses the transaction log).
+/// validation rules (cheap; reuses the transaction log — works
+/// identically on single-vantage and multi-vantage results, since the
+/// merged transaction log is vantage-invariant).
 [[nodiscard]] classify::Census reanalyze(const CensusResult& result,
                                          bool strict_validation);
 

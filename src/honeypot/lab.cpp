@@ -69,18 +69,63 @@ SensorLab deploy_sensor_lab(topo::Deployment& world, util::Prefix block,
   return lab;
 }
 
-netsim::HostId attach_vantage(topo::Deployment& world, util::Prefix block,
-                              util::Ipv4 host_addr, bool sav) {
-  auto& net = world.sim().net();
+netsim::HostId attach_vantage(netsim::Network& net, util::Prefix block,
+                              util::Ipv4 host_addr, bool sav,
+                              std::optional<netsim::Asn> mirror_links_of) {
   netsim::AsConfig ac;
   ac.asn = fresh_asn(net, 65100);
   ac.country = "USA";
   ac.internal_hops = 1;
   ac.source_address_validation = sav;
+  std::vector<netsim::Asn> links{net.all_asns().front()};
+  if (mirror_links_of) {
+    const auto* mirrored = net.find_as(*mirror_links_of);
+    if (mirrored == nullptr) {
+      throw std::invalid_argument("attach_vantage: unknown mirrored ASN");
+    }
+    // Hop-identical routing: same internal chain length and the same
+    // neighbor set in the same order, so BFS from the vantage explores
+    // the graph exactly as BFS from the mirrored AS does (the vantage
+    // itself is a stub and can never shorten anyone's path).
+    ac.internal_hops = mirrored->cfg.internal_hops;
+    links = mirrored->neighbors;
+  }
   net.add_as(ac);
   net.announce(ac.asn, block);
-  net.link(ac.asn, net.all_asns().front());
+  for (const netsim::Asn neighbor : links) net.link(ac.asn, neighbor);
   return net.add_host(ac.asn, {host_addr});
+}
+
+netsim::HostId attach_vantage(topo::Deployment& world, util::Prefix block,
+                              util::Ipv4 host_addr, bool sav,
+                              std::optional<netsim::Asn> mirror_links_of) {
+  return attach_vantage(world.sim().net(), block, host_addr, sav,
+                        mirror_links_of);
+}
+
+std::vector<netsim::HostId> attach_capture_vantages(netsim::Network& net,
+                                                    netsim::Asn mirror_as,
+                                                    std::uint32_t count) {
+  std::vector<netsim::HostId> members;
+  members.reserve(count);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    // One /24 per member from 198.19.0.0/16 — the half of the RFC 2544
+    // benchmarking range the campaign vantages (198.18.x.0/24 in
+    // tests, examples, and benches) never touch.
+    const util::Ipv4 base{static_cast<std::uint32_t>(
+        (198u << 24) | (19u << 16) | (j << 8))};
+    members.push_back(attach_vantage(net, util::Prefix{base, 24},
+                                     util::Ipv4{base.value() + 1},
+                                     /*sav=*/false, mirror_as));
+  }
+  return members;
+}
+
+std::vector<netsim::HostId> attach_capture_vantages(topo::Deployment& world,
+                                                    std::uint32_t count) {
+  auto& net = world.sim().net();
+  return attach_capture_vantages(net, net.host(world.scanner_host()).asn,
+                                 count);
 }
 
 }  // namespace odns::honeypot

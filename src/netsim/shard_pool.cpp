@@ -4,6 +4,27 @@
 
 namespace odns::netsim {
 
+namespace {
+
+/// Backoff ladder for the phase barrier. The spin budget covers the
+/// fine-lookahead regime (phases every few µs); the yield budget keeps
+/// oversubscribed machines live; past both, workers park on the
+/// condvar so idle pools cost nothing between runs.
+constexpr int kSpinIters = 2048;
+constexpr int kYieldIters = 64;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
 void ShardPool::ensure_started(std::uint32_t n) {
   assert(n > 0);
   if (!workers_.empty()) {
@@ -16,49 +37,94 @@ void ShardPool::ensure_started(std::uint32_t n) {
   }
 }
 
-void ShardPool::run_phase(const PhaseFn& fn) {
-  std::unique_lock lock(mu_);
+void ShardPool::install_phases(const PhaseFn* window, const PhaseFn* admit) {
+  // Only called from the coordinator between phases (never while a
+  // phase is in flight), so plain stores are safe: workers read the
+  // pointers only after the acquire on generation_.
+  phases_[0] = window;
+  phases_[1] = admit;
+}
+
+void ShardPool::run_phase(std::uint32_t which) {
   assert(!workers_.empty());
-  phase_ = &fn;
-  done_ = 0;
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lock, [this] { return done_ == workers_.size(); });
-  phase_ = nullptr;
+  assert(which < 2 && phases_[which] != nullptr);
+  done_.store(0, std::memory_order_relaxed);
+  phase_index_ = which;
+  // Dekker pattern with the parking path: the coordinator writes
+  // generation_ then reads sleepers_, a parking worker writes
+  // sleepers_ then reads generation_. Both pairs are seq_cst so the
+  // total order guarantees at least one side sees the other — either
+  // the coordinator sees the sleeper and notifies, or the sleeper sees
+  // the new generation and never waits. Weaker orderings would allow
+  // StoreLoad reordering on both sides and a lost wakeup (worker parks
+  // forever, run_phase spins on done_ forever).
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard lock(mu_);
+    cv_.notify_all();
+  }
+  const auto n = static_cast<std::uint32_t>(workers_.size());
+  int spins = 0;
+  while (done_.load(std::memory_order_acquire) != n) {
+    if (spins < kSpinIters) {
+      cpu_relax();
+      ++spins;
+    } else {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ShardPool::worker_loop(std::uint32_t index) {
   std::uint64_t seen = 0;
   while (true) {
-    const PhaseFn* fn = nullptr;
-    {
-      std::unique_lock lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      fn = phase_;
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == seen &&
+           !stop_.load(std::memory_order_acquire)) {
+      if (spins < kSpinIters) {
+        cpu_relax();
+        ++spins;
+      } else if (spins < kSpinIters + kYieldIters) {
+        std::this_thread::yield();
+        ++spins;
+      } else {
+        std::unique_lock lock(mu_);
+        // seq_cst pair with run_phase — see the comment there.
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] {
+          return generation_.load(std::memory_order_seq_cst) != seen ||
+                 stop_.load(std::memory_order_seq_cst);
+        });
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        spins = 0;
+      }
     }
-    (*fn)(index);
-    {
-      std::lock_guard lock(mu_);
-      if (++done_ == workers_.size()) cv_done_.notify_one();
-    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = generation_.load(std::memory_order_relaxed);
+    // The acquire above orders these reads after the coordinator's
+    // release bump, so phase_index_/phases_ are the current phase's.
+    (*phases_[phase_index_])(index);
+    done_.fetch_add(1, std::memory_order_release);
   }
 }
 
 void ShardPool::shutdown() {
   {
     std::lock_guard lock(mu_);
-    stop_ = true;
-    cv_work_.notify_all();
+    stop_.store(true, std::memory_order_release);
+    cv_.notify_all();
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  stop_ = false;
-  generation_ = 0;
-  done_ = 0;
+  stop_.store(false, std::memory_order_relaxed);
+  generation_.store(0, std::memory_order_relaxed);
+  done_.store(0, std::memory_order_relaxed);
+  sleepers_.store(0, std::memory_order_relaxed);
+  phases_[0] = phases_[1] = nullptr;
+  phase_index_ = 0;
 }
 
 }  // namespace odns::netsim
+

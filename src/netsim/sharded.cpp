@@ -6,6 +6,7 @@
 // walk-through lives in docs/architecture.md, "Sharded execution".
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <ctime>
@@ -55,11 +56,53 @@ void Simulator::freeze_partition() {
   const auto n = shard_count();
   // AS-granular partition through a shard-count-independent virtual
   // layer: AS index -> virtual shard (mod kVirtualShards) -> real
-  // shard (mod n). Adding ASes/hosts never reassigns existing ones
-  // (indices are append-only), so a lazy re-freeze only extends.
+  // shard. Virtual shards place onto real shards round-robin, or — when
+  // load hints are set — by LPT greedy (heaviest virtual shard first
+  // onto the least-loaded real shard, ties by lowest index), which
+  // balances expected event load instead of AS counts. Placement is a
+  // pure execution decision: the virtual partition, and with it every
+  // observable output, is identical for any weighting. Adding
+  // ASes/hosts never reassigns existing ones (indices are append-only),
+  // so a lazy re-freeze only extends.
+  std::array<std::uint32_t, kVirtualShards> virt_to_real;
+  if (partition_load_hints_.empty() || n == 1) {
+    for (std::uint32_t v = 0; v < kVirtualShards; ++v) virt_to_real[v] = v % n;
+  } else {
+    std::array<std::uint32_t, kVirtualShards> order;
+    for (std::uint32_t v = 0; v < kVirtualShards; ++v) order[v] = v;
+    const auto weight = [&](std::uint32_t v) {
+      return v < partition_load_hints_.size() ? partition_load_hints_[v]
+                                              : std::uint64_t{0};
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return weight(a) > weight(b);
+                     });
+    std::vector<std::uint64_t> load(n, 0);
+    for (const std::uint32_t v : order) {
+      std::uint32_t best = 0;
+      for (std::uint32_t s = 1; s < n; ++s) {
+        if (load[s] < load[best]) best = s;
+      }
+      virt_to_real[v] = best;
+      // Count zero-weight virtual shards as one unit so they still
+      // spread instead of piling onto one real shard.
+      load[best] += std::max<std::uint64_t>(weight(v), 1);
+    }
+  }
   as_shard_.resize(net_.as_count());
   for (std::size_t i = 0; i < as_shard_.size(); ++i) {
-    as_shard_[i] = static_cast<std::uint32_t>((i % kVirtualShards) % n);
+    as_shard_[i] = virt_to_real[i % kVirtualShards];
+  }
+  // Vantage capture members override the virtual layer: member j's AS
+  // is pinned to real shard j % n so the member the inject() override
+  // hands shard s's capture traffic to executes on shard s itself
+  // (see vantage_member_for_shard_). Each member AS holds only its
+  // capture host, so the pin moves no other state.
+  for (std::size_t j = 0; j < vantage_members_.size(); ++j) {
+    const Asn member_as = net_.host(vantage_members_[j]).asn;
+    as_shard_[net_.as_index(member_as)] =
+        static_cast<std::uint32_t>(j % n);
   }
   host_shard_.resize(net_.host_count());
   for (std::size_t h = 0; h < host_shard_.size(); ++h) {
@@ -168,6 +211,10 @@ void Simulator::run_windows(util::SimTime deadline, bool advance_clocks) {
   const bool threaded = cfg_.shard_threads;
   if (threaded) pool_.ensure_started(shard_count());
 
+  // The two phase closures are built once per run and preinstalled in
+  // the pool; each window only writes `wend` and signals a phase index
+  // (no allocation, no locking — see shard_pool.hpp). Workers read
+  // `wend` after the barrier's acquire, so the plain write is safe.
   util::SimTime wend = util::SimTime::origin();
   const ShardPool::PhaseFn window_phase = [&](std::uint32_t s) {
     run_shard_window(*shards_[s], wend);
@@ -175,6 +222,7 @@ void Simulator::run_windows(util::SimTime deadline, bool advance_clocks) {
   const ShardPool::PhaseFn admit_phase = [&](std::uint32_t s) {
     admit_mailboxes(*shards_[s]);
   };
+  if (threaded) pool_.install_phases(&window_phase, &admit_phase);
 
   while (true) {
     const util::SimTime next = next_event_time();
@@ -190,13 +238,14 @@ void Simulator::run_windows(util::SimTime deadline, bool advance_clocks) {
                           util::Duration::nanos(1));
     }
     if (threaded) {
-      pool_.run_phase(window_phase);
-      pool_.run_phase(admit_phase);
+      pool_.run_phase(0);
+      pool_.run_phase(1);
     } else {
       for (auto& sh : shards_) run_shard_window(*sh, wend);
       for (auto& sh : shards_) admit_mailboxes(*sh);
     }
   }
+  if (threaded) pool_.install_phases(nullptr, nullptr);
 
   if (advance_clocks) {
     // No events at or before the deadline remain anywhere; run() on an

@@ -116,6 +116,37 @@ const SimCounters& Simulator::counters() const {
   return agg_counters_;
 }
 
+void Simulator::set_partition_load_hints(std::vector<std::uint64_t> weights) {
+  partition_load_hints_ = std::move(weights);
+  partition_epoch_ = 0;  // re-freeze with the new placement on next run
+}
+
+void Simulator::set_vantage_capture(util::Ipv4 capture_addr,
+                                    std::vector<HostId> members) {
+  assert(!members.empty());
+  vantage_capture_host_ = net_.unicast_owner(capture_addr);
+  assert(vantage_capture_host_ != kInvalidHost &&
+         "capture address must have a unicast owner");
+  vantage_members_ = std::move(members);
+  const auto n = shard_count();
+  vantage_member_for_shard_.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    // Member j is pinned to shard j % n at partition freeze, so this
+    // choice is shard-local whenever members.size() >= n (and lands on
+    // the member's own shard via the mailbox fabric otherwise).
+    vantage_member_for_shard_[s] =
+        vantage_members_[s % vantage_members_.size()];
+  }
+  partition_epoch_ = 0;  // re-freeze with the member pins applied
+}
+
+void Simulator::clear_vantage_capture() {
+  vantage_capture_host_ = kInvalidHost;
+  vantage_members_.clear();
+  vantage_member_for_shard_.clear();
+  partition_epoch_ = 0;
+}
+
 std::uint64_t Simulator::events_executed() const {
   std::uint64_t total = 0;
   for (const auto& sh : shards_) total += sh->events.executed();
@@ -363,7 +394,16 @@ void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
     return;
   }
 
-  const HostId dst_host = route->dst_host;
+  HostId dst_host = route->dst_host;
+  // Multi-vantage capture: traffic for the capture address is handed
+  // to the vantage member pinned to the *emitting* shard, after the
+  // route (hop count, delivery time, TTL) has been computed against
+  // the capture address's owning host — so the packet's observable
+  // trace is byte-identical to the single-vantage run, but delivery
+  // never crosses the shard fabric.
+  if (dst_host == vantage_capture_host_) {
+    dst_host = vantage_member_for_shard_[sh.index];
+  }
   pkt.ttl -= hops;
   schedule_deliver_on(sh, single_shard() ? 0 : host_shard_[dst_host],
                       at_now + cfg_.hop_latency * (hops + 1), std::move(pkt),

@@ -207,11 +207,45 @@ class Simulator {
       std::uint32_t shard) const;
 
   /// Hosts/ASes are partitioned into this many *virtual* shards, which
-  /// map onto real shards by modulo. The virtual partition is
-  /// shard-count-independent, so workload-partitioning decisions keyed
-  /// on it (scanner target interleaving) produce identical event
-  /// content for every real shard count.
+  /// map onto real shards by modulo (or by the weighted assignment
+  /// below). The virtual partition is shard-count-independent, so
+  /// workload-partitioning decisions keyed on it (scanner target
+  /// interleaving) produce identical event content for every real
+  /// shard count.
   static constexpr std::uint32_t kVirtualShards = 64;
+
+  /// Weighted virtual-shard partition: `weights[v]` is the expected
+  /// event load of virtual shard `v` (e.g. its probe-target count).
+  /// The 64 virtual shards are then placed onto real shards by
+  /// deterministic LPT greedy (heaviest first onto the least-loaded
+  /// real shard; ties by lowest index) instead of round-robin modulo.
+  /// This only moves *execution* — the virtual partition, and with it
+  /// the probe order and every observable result, is unchanged for any
+  /// weighting. Equal (or empty) weights reproduce the classic modulo
+  /// placement. Call between runs only; the next run re-freezes the
+  /// partition.
+  void set_partition_load_hints(std::vector<std::uint64_t> weights);
+
+  // --- multi-vantage capture ----------------------------------------
+  /// Registers a vantage capture set ("Multi-vantage census",
+  /// docs/architecture.md): packets routed to `capture_addr`'s owning
+  /// host are instead delivered to the member pinned to the *emitting*
+  /// shard, so responses never cross the shard fabric. Member `j`'s AS
+  /// is pinned to real shard `j % shards`; with `members.size() >=
+  /// shards` every shard captures locally. Routing (hop count, delivery
+  /// time, TTL) is still computed against the capture address's owning
+  /// host, so traces stay byte-identical to the single-vantage run.
+  /// Call between runs only.
+  void set_vantage_capture(util::Ipv4 capture_addr,
+                           std::vector<HostId> members);
+  void clear_vantage_capture();
+  [[nodiscard]] bool vantage_capture_active() const {
+    return vantage_capture_host_ != kInvalidHost;
+  }
+  /// Member host that captures traffic emitted by `shard`.
+  [[nodiscard]] HostId vantage_member_for_shard(std::uint32_t shard) const {
+    return vantage_member_for_shard_[shard];
+  }
 
   // --- socket API ----------------------------------------------------
   void bind_udp(HostId host, std::uint16_t port, App* app);
@@ -358,6 +392,15 @@ class Simulator {
   std::vector<std::uint32_t> host_shard_;
   std::vector<std::uint32_t> as_shard_;  // by AS index
   std::uint64_t partition_epoch_ = 0;
+  /// Expected load per virtual shard (set_partition_load_hints); empty
+  /// = unweighted modulo placement.
+  std::vector<std::uint64_t> partition_load_hints_;
+  // Vantage capture set (set_vantage_capture). The capture-host
+  // sentinel keeps the inject() fast path to one compare when no set
+  // is registered.
+  HostId vantage_capture_host_ = kInvalidHost;
+  std::vector<HostId> vantage_members_;
+  std::vector<HostId> vantage_member_for_shard_;  // by real shard
   mutable SimCounters agg_counters_;
 };
 

@@ -1,0 +1,42 @@
+#pragma once
+// The merge-correlator: joins probe and capture logs on the unique
+// (client port, TXID) tuple after the measurement — the post-processing
+// half of §4.1. Shared by the single-vantage TransactionalScanner (its
+// capture log is trivially ordered) and the multi-vantage VantageSet,
+// which first merges per-vantage capture buffers in the deterministic
+// (time, vantage, seq) order — the capture-plane analogue of the
+// engine's (time, shard, seq) cross-shard merge rule (see
+// "Cross-shard merge rule" in docs/event-engine.md and "Multi-vantage
+// census" in docs/architecture.md).
+
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "scan/types.hpp"
+
+namespace odns::scan {
+
+/// Decodes one captured datagram and appends it to `capture` (the
+/// dumpcap hook every capture host shares). Non-responses are ignored;
+/// undecodable payloads count as parse errors. `vantage` tags the
+/// recording capture host.
+void record_response(const netsim::Datagram& dgram, util::SimTime at,
+                     std::uint32_t vantage, std::vector<RawResponse>& capture,
+                     ScannerStats& stats);
+
+/// Merges per-vantage capture buffers into one log ordered by
+/// (time, vantage, seq). Each input buffer must be time-ordered (they
+/// are: capture hosts record in event-execution order).
+[[nodiscard]] std::vector<RawResponse> merge_captures(
+    const std::vector<const std::vector<RawResponse>*>& buffers);
+
+/// Joins `capture` with `probes` on (client port, TXID) and returns
+/// one transaction per probe. The first in-window response in capture
+/// order wins; later matches count as duplicates. Updates the
+/// unmatched/duplicate/late statistics in `stats`.
+[[nodiscard]] std::vector<Transaction> correlate_capture(
+    const std::vector<SentProbe>& probes,
+    const std::vector<RawResponse>& capture, util::Duration timeout,
+    ScannerStats& stats);
+
+}  // namespace odns::scan

@@ -1,0 +1,50 @@
+#include "scan/plan.hpp"
+
+namespace odns::scan {
+
+std::vector<util::Ipv4> interleave_by_virtual_shard(
+    const netsim::Simulator& sim, const std::vector<util::Ipv4>& targets) {
+  // Group by virtual shard (stable within each group), then emit
+  // round-robin across the non-empty groups. Keyed on the virtual
+  // partition, the order — and with it every (port, txid) assignment —
+  // is independent of the real shard count.
+  std::vector<std::vector<util::Ipv4>> groups(
+      netsim::Simulator::kVirtualShards);
+  for (auto target : targets) {
+    groups[sim.virtual_shard_of(target)].push_back(target);
+  }
+  std::vector<util::Ipv4> ordered;
+  ordered.reserve(targets.size());
+  for (std::size_t round = 0; ordered.size() < targets.size(); ++round) {
+    for (const auto& group : groups) {
+      if (round < group.size()) ordered.push_back(group[round]);
+    }
+  }
+  return ordered;
+}
+
+VantagePlan VantagePlan::build(const netsim::Simulator& sim,
+                               const ScanConfig& cfg,
+                               const std::vector<util::Ipv4>& targets) {
+  VantagePlan plan;
+  plan.gap_ = util::Duration::nanos(static_cast<std::int64_t>(
+      1e9 / static_cast<double>(cfg.probes_per_second)));
+  const std::vector<util::Ipv4>* paced = &targets;
+  std::vector<util::Ipv4> interleaved;
+  if (cfg.shard_interleave) {
+    interleaved = interleave_by_virtual_shard(sim, targets);
+    paced = &interleaved;
+  }
+  TupleSequencer tuples(cfg.port_base, cfg.port_limit);
+  plan.probes_.reserve(paced->size());
+  util::Duration at = util::Duration::nanos(0);
+  for (auto target : *paced) {
+    const auto [port, txid] = tuples.next();
+    plan.probes_.push_back(PlannedProbe{target, at, port, txid});
+    at = at + plan.gap_;
+  }
+  plan.span_ = at;
+  return plan;
+}
+
+}  // namespace odns::scan

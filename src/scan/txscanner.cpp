@@ -1,92 +1,54 @@
 #include "scan/txscanner.hpp"
 
+#include "dnswire/codec.hpp"
+#include "scan/correlate.hpp"
+
 namespace odns::scan {
 
 TransactionalScanner::TransactionalScanner(netsim::Simulator& sim,
                                            netsim::HostId host, ScanConfig cfg)
-    : sim_(&sim), host_(host), cfg_(std::move(cfg)),
-      next_port_(cfg_.port_base) {
+    : sim_(&sim), host_(host), cfg_(std::move(cfg)) {
   sim_->bind_udp_wildcard(host_, this);
   sim_->set_icmp_handler(host_, [this](const netsim::Packet&) {
     ++stats_.icmp_errors;
   });
 }
 
-std::pair<std::uint16_t, std::uint16_t> TransactionalScanner::next_tuple() {
-  const std::uint16_t port = next_port_;
-  if (next_port_ >= cfg_.port_limit) {
-    next_port_ = cfg_.port_base;
-    ++next_txid_;  // port space wrapped: move to a fresh TXID plane
-    if (next_txid_ == 0) next_txid_ = 1;
-  } else {
-    ++next_port_;
-  }
-  return {port, next_txid_};
-}
-
-void TransactionalScanner::send_probe(util::Ipv4 target) {
-  const auto [port, txid] = next_tuple();
-  const dnswire::Name qname =
-      cfg_.qname_for_target ? cfg_.qname_for_target(target) : cfg_.qname;
-
-  SentProbe probe{target, port, txid, sim_->now()};
-  tuple_to_probe_[(std::uint32_t{port} << 16) | txid] =
-      static_cast<std::uint32_t>(probes_.size());
-  probes_.push_back(probe);
+void TransactionalScanner::send_planned(const PlannedProbe& probe) {
   ++stats_.probes_sent;
   last_send_at_ = sim_->now();
 
+  const dnswire::Name qname = cfg_.qname_for_target
+                                  ? cfg_.qname_for_target(probe.target)
+                                  : cfg_.qname;
   netsim::SendOptions opts;
-  opts.dst = target;
-  opts.src_port = port;
+  opts.dst = probe.target;
+  opts.src_port = probe.src_port;
   opts.dst_port = 53;
-  opts.payload = dnswire::encode(dnswire::make_query(txid, qname, cfg_.qtype));
+  opts.payload =
+      dnswire::encode(dnswire::make_query(probe.txid, qname, cfg_.qtype));
   sim_->send_udp(host_, std::move(opts));
 }
 
-std::vector<util::Ipv4> TransactionalScanner::partition_targets(
-    const std::vector<util::Ipv4>& targets) const {
-  // Group by virtual shard (stable within each group), then emit
-  // round-robin across the non-empty groups. Keyed on the virtual
-  // partition, the order — and with it every (port, txid) assignment —
-  // is independent of the real shard count.
-  std::vector<std::vector<util::Ipv4>> groups(
-      netsim::Simulator::kVirtualShards);
-  for (auto target : targets) {
-    groups[sim_->virtual_shard_of(target)].push_back(target);
-  }
-  std::vector<util::Ipv4> ordered;
-  ordered.reserve(targets.size());
-  for (std::size_t round = 0; ordered.size() < targets.size(); ++round) {
-    for (const auto& group : groups) {
-      if (round < group.size()) ordered.push_back(group[round]);
-    }
-  }
-  return ordered;
-}
-
 void TransactionalScanner::start(const std::vector<util::Ipv4>& targets) {
-  const auto gap = util::Duration::nanos(
-      static_cast<std::int64_t>(1e9 / static_cast<double>(
-                                          cfg_.probes_per_second)));
-  const std::vector<util::Ipv4>* paced = &targets;
-  std::vector<util::Ipv4> interleaved;
-  if (cfg_.shard_interleave) {
-    interleaved = partition_targets(targets);
-    paced = &interleaved;
-  }
-  util::Duration at = util::Duration::nanos(0);
-  for (auto target : *paced) {
+  plan_ = VantagePlan::build(*sim_, cfg_, targets);
+  const util::SimTime t0 = sim_->now();
+  probes_.reserve(probes_.size() + plan_.probes().size());
+  for (std::size_t i = 0; i < plan_.probes().size(); ++i) {
+    const PlannedProbe& p = plan_.probes()[i];
+    // The probe table is materialized from the plan: timers fire at
+    // exactly their scheduled instants, so the planned send time is
+    // the sent_at the classic scanner would have recorded.
+    probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
     // Shard-affine pacing: start() runs outside the event loop, so the
     // timers must land on the shard owning the scanner host.
-    sim_->schedule_timer_on(host_, at, this, target.value());
-    at = at + gap;
+    sim_->schedule_timer_on(host_, p.at, this, i);
   }
-  last_send_at_ = sim_->now() + at;
+  last_send_at_ = t0 + plan_.span();
 }
 
-void TransactionalScanner::on_timer(std::uint64_t target_bits, std::uint64_t) {
-  send_probe(util::Ipv4{static_cast<std::uint32_t>(target_bits)});
+void TransactionalScanner::on_timer(std::uint64_t probe_index, std::uint64_t) {
+  send_planned(plan_.probes()[probe_index]);
 }
 
 void TransactionalScanner::run_to_completion() {
@@ -97,55 +59,11 @@ void TransactionalScanner::run_to_completion() {
 }
 
 void TransactionalScanner::on_datagram(const netsim::Datagram& dgram) {
-  auto parsed = dnswire::decode(*dgram.payload);
-  if (!parsed) {
-    ++stats_.parse_errors;
-    return;
-  }
-  const auto& msg = parsed.value();
-  if (!msg.header.qr) return;  // stray queries aimed at the scanner
-  ++stats_.responses_received;
-  RawResponse rec;
-  rec.src = dgram.src;
-  rec.src_port = dgram.src_port;
-  rec.dst_port = dgram.dst_port;
-  rec.txid = msg.header.id;
-  rec.at = sim_->now();
-  rec.rcode = msg.header.rcode;
-  rec.answer_addrs = msg.answer_addresses();
-  capture_.push_back(std::move(rec));
+  record_response(dgram, sim_->now(), /*vantage=*/0, capture_, stats_);
 }
 
 std::vector<Transaction> TransactionalScanner::correlate() {
-  std::vector<Transaction> out(probes_.size());
-  for (std::size_t i = 0; i < probes_.size(); ++i) {
-    out[i].target = probes_[i].target;
-    out[i].sent_at = probes_[i].sent_at;
-  }
-  for (const auto& rec : capture_) {
-    const std::uint32_t key = (std::uint32_t{rec.dst_port} << 16) | rec.txid;
-    auto it = tuple_to_probe_.find(key);
-    if (it == tuple_to_probe_.end()) {
-      ++stats_.responses_unmatched;
-      continue;
-    }
-    auto& txn = out[it->second];
-    const auto& probe = probes_[it->second];
-    if (rec.at - probe.sent_at > cfg_.timeout) {
-      ++stats_.responses_late;
-      continue;
-    }
-    if (txn.answered) {
-      ++stats_.responses_duplicate;
-      continue;
-    }
-    txn.answered = true;
-    txn.response_src = rec.src;
-    txn.rtt = rec.at - probe.sent_at;
-    txn.rcode = rec.rcode;
-    txn.answer_addrs = rec.answer_addrs;
-  }
-  return out;
+  return correlate_capture(probes_, capture_, cfg_.timeout, stats_);
 }
 
 }  // namespace odns::scan

@@ -5,91 +5,21 @@
 // afterwards. Unique (port, TXID) tuples make the mapping unambiguous
 // even when many transparent forwarders relay to the same resolver
 // (Fig. 7); IP-based matching cannot do that.
+//
+// The scanner is the single-vantage assembly of three shared pieces:
+// the global probe plan (plan.hpp: ordering, tuples, pacing), the
+// capture record hook and the merge-correlator (correlate.hpp). The
+// multi-vantage assembly — one capture host per shard executing slices
+// of the same plan — lives in vantage.hpp.
 
 #include <cstdint>
-#include <functional>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
-#include "dnswire/codec.hpp"
-#include "dnswire/message.hpp"
 #include "netsim/sim.hpp"
+#include "scan/plan.hpp"
+#include "scan/types.hpp"
 
 namespace odns::scan {
-
-struct ScanConfig {
-  dnswire::Name qname;                   // static scan name (response-based)
-  dnswire::RrType qtype = dnswire::RrType::a;
-  /// When set, overrides `qname` per target — the query-based method
-  /// encodes the destination into the name (e.g. 20-0-0-1.q.zone).
-  std::function<dnswire::Name(util::Ipv4)> qname_for_target;
-  util::Duration timeout = util::Duration::seconds(20);  // paper: 20 s
-  std::uint64_t probes_per_second = 20000;
-  std::uint16_t port_base = 1024;
-  std::uint16_t port_limit = 65535;
-  /// Extra drain window run_to_completion() appends after the timeout
-  /// so straggling in-flight events (late responses, ICMP) settle.
-  util::Duration drain_settle = util::Duration::seconds(1);
-  /// Reorders the target list round-robin over the simulator's
-  /// *virtual* shards (Simulator::kVirtualShards) before pacing, so a
-  /// sharded run keeps every shard busy in every pacing window. The
-  /// virtual partition is shard-count-independent: the probe schedule
-  /// (and therefore every result table) is identical for any shard
-  /// count, interleaved or not — this only changes which targets are
-  /// adjacent in time. Off by default to preserve the classic order.
-  bool shard_interleave = false;
-};
-
-struct SentProbe {
-  util::Ipv4 target;
-  std::uint16_t src_port = 0;
-  std::uint16_t txid = 0;
-  util::SimTime sent_at;
-};
-
-/// One captured datagram — the scanner's dumpcap-equivalent record.
-struct RawResponse {
-  util::Ipv4 src;
-  std::uint16_t src_port = 0;
-  std::uint16_t dst_port = 0;
-  std::uint16_t txid = 0;
-  util::SimTime at;
-  dnswire::Rcode rcode = dnswire::Rcode::noerror;
-  std::vector<util::Ipv4> answer_addrs;
-};
-
-/// A correlated transaction: probe joined with its response (if any).
-struct Transaction {
-  util::Ipv4 target;
-  util::SimTime sent_at;
-  bool answered = false;
-  util::Ipv4 response_src;
-  util::Duration rtt;
-  dnswire::Rcode rcode = dnswire::Rcode::noerror;
-  std::vector<util::Ipv4> answer_addrs;  // A records, in answer order
-
-  /// First A record: the dynamic resolver-mirror record.
-  [[nodiscard]] std::optional<util::Ipv4> dynamic_a() const {
-    if (answer_addrs.empty()) return std::nullopt;
-    return answer_addrs.front();
-  }
-  /// Second A record: the static control record.
-  [[nodiscard]] std::optional<util::Ipv4> control_a() const {
-    if (answer_addrs.size() < 2) return std::nullopt;
-    return answer_addrs[1];
-  }
-};
-
-struct ScannerStats {
-  std::uint64_t probes_sent = 0;
-  std::uint64_t responses_received = 0;
-  std::uint64_t responses_unmatched = 0;  // no (port, txid) probe
-  std::uint64_t responses_duplicate = 0;  // probe already answered
-  std::uint64_t responses_late = 0;       // after the timeout window
-  std::uint64_t parse_errors = 0;
-  std::uint64_t icmp_errors = 0;
-};
 
 class TransactionalScanner : public netsim::App, public netsim::TimerTarget {
  public:
@@ -118,26 +48,19 @@ class TransactionalScanner : public netsim::App, public netsim::TimerTarget {
   [[nodiscard]] util::SimTime last_send_at() const { return last_send_at_; }
 
   void on_datagram(const netsim::Datagram& dgram) override;
-  /// Probe-pacing timer: `target_bits` is the probe target's address.
-  void on_timer(std::uint64_t target_bits, std::uint64_t) override;
+  /// Probe-pacing timer: `probe_index` is the plan index to send.
+  void on_timer(std::uint64_t probe_index, std::uint64_t) override;
 
  private:
-  void send_probe(util::Ipv4 target);
-  std::pair<std::uint16_t, std::uint16_t> next_tuple();
-  /// Round-robin interleave of `targets` over the simulator's virtual
-  /// shards (see ScanConfig::shard_interleave).
-  [[nodiscard]] std::vector<util::Ipv4> partition_targets(
-      const std::vector<util::Ipv4>& targets) const;
+  void send_planned(const PlannedProbe& probe);
 
   netsim::Simulator* sim_;
   netsim::HostId host_;
   ScanConfig cfg_;
+  VantagePlan plan_;
   std::vector<SentProbe> probes_;
   std::vector<RawResponse> capture_;
-  std::unordered_map<std::uint32_t, std::uint32_t> tuple_to_probe_;
   ScannerStats stats_;
-  std::uint16_t next_port_;
-  std::uint16_t next_txid_ = 1;
   util::SimTime last_send_at_;
 };
 

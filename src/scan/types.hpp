@@ -1,0 +1,115 @@
+#pragma once
+// Shared value types of the measurement core (§4.1): scan
+// configuration, the probe log, the raw capture log, correlated
+// transactions, and scanner statistics. Split out of txscanner.hpp so
+// the plan builder (plan.hpp), the merge-correlator (correlate.hpp),
+// the single-vantage scanner (txscanner.hpp), and the multi-vantage
+// set (vantage.hpp) all speak the same records.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dnswire/message.hpp"
+#include "dnswire/name.hpp"
+#include "util/ipv4.hpp"
+#include "util/time.hpp"
+
+namespace odns::scan {
+
+struct ScanConfig {
+  dnswire::Name qname;                   // static scan name (response-based)
+  dnswire::RrType qtype = dnswire::RrType::a;
+  /// When set, overrides `qname` per target — the query-based method
+  /// encodes the destination into the name (e.g. 20-0-0-1.q.zone).
+  std::function<dnswire::Name(util::Ipv4)> qname_for_target;
+  util::Duration timeout = util::Duration::seconds(20);  // paper: 20 s
+  std::uint64_t probes_per_second = 20000;
+  std::uint16_t port_base = 1024;
+  std::uint16_t port_limit = 65535;
+  /// Extra drain window run_to_completion() appends after the timeout
+  /// so straggling in-flight events (late responses, ICMP) settle.
+  util::Duration drain_settle = util::Duration::seconds(1);
+  /// Reorders the target list round-robin over the simulator's
+  /// *virtual* shards (Simulator::kVirtualShards) before pacing, so a
+  /// sharded run keeps every shard busy in every pacing window. The
+  /// virtual partition is shard-count-independent: the probe schedule
+  /// (and therefore every result table) is identical for any shard
+  /// count, interleaved or not — this only changes which targets are
+  /// adjacent in time. Off by default to preserve the classic order.
+  bool shard_interleave = false;
+};
+
+struct SentProbe {
+  util::Ipv4 target;
+  std::uint16_t src_port = 0;
+  std::uint16_t txid = 0;
+  util::SimTime sent_at;
+};
+
+/// One captured datagram — the scanner's dumpcap-equivalent record.
+struct RawResponse {
+  util::Ipv4 src;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t txid = 0;
+  util::SimTime at;
+  dnswire::Rcode rcode = dnswire::Rcode::noerror;
+  std::vector<util::Ipv4> answer_addrs;
+  /// Index of the capture vantage that recorded this datagram (0 for
+  /// the single-vantage scanner). An execution detail: which member
+  /// captures a response depends on the shard count, so this field is
+  /// excluded from every shard-count-invariant comparison.
+  std::uint32_t vantage = 0;
+};
+
+/// A correlated transaction: probe joined with its response (if any).
+struct Transaction {
+  util::Ipv4 target;
+  util::SimTime sent_at;
+  bool answered = false;
+  util::Ipv4 response_src;
+  util::Duration rtt;
+  dnswire::Rcode rcode = dnswire::Rcode::noerror;
+  std::vector<util::Ipv4> answer_addrs;  // A records, in answer order
+  /// Capture vantage that recorded the winning response (for
+  /// unanswered probes: the vantage that sent the probe). Execution
+  /// detail — see RawResponse::vantage.
+  std::uint32_t vantage = 0;
+
+  /// First A record: the dynamic resolver-mirror record.
+  [[nodiscard]] std::optional<util::Ipv4> dynamic_a() const {
+    if (answer_addrs.empty()) return std::nullopt;
+    return answer_addrs.front();
+  }
+  /// Second A record: the static control record.
+  [[nodiscard]] std::optional<util::Ipv4> control_a() const {
+    if (answer_addrs.size() < 2) return std::nullopt;
+    return answer_addrs[1];
+  }
+};
+
+struct ScannerStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t responses_unmatched = 0;  // no (port, txid) probe
+  std::uint64_t responses_duplicate = 0;  // probe already answered
+  std::uint64_t responses_late = 0;       // after the timeout window
+  std::uint64_t parse_errors = 0;
+  std::uint64_t icmp_errors = 0;
+
+  /// Field-wise sum — aggregates per-vantage statistics.
+  ScannerStats& operator+=(const ScannerStats& o) {
+    probes_sent += o.probes_sent;
+    responses_received += o.responses_received;
+    responses_unmatched += o.responses_unmatched;
+    responses_duplicate += o.responses_duplicate;
+    responses_late += o.responses_late;
+    parse_errors += o.parse_errors;
+    icmp_errors += o.icmp_errors;
+    return *this;
+  }
+};
+
+}  // namespace odns::scan

@@ -1,0 +1,148 @@
+#include "scan/vantage.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "dnswire/codec.hpp"
+#include "scan/correlate.hpp"
+
+namespace odns::scan {
+
+/// One capture host of a VantageSet: binds the wildcard socket and the
+/// ICMP sink on its member host, paces its slice of the plan from the
+/// member's own shard, and records raw responses into a shard-local
+/// buffer (only ever touched by the shard that owns the member).
+class CaptureVantage final : public netsim::App, public netsim::TimerTarget {
+ public:
+  CaptureVantage(VantageSet& owner, netsim::HostId host, std::uint32_t index)
+      : owner_(&owner), host_(host), index_(index) {
+    auto& sim = *owner_->sim_;
+    sim.bind_udp_wildcard(host_, this);
+    sim.set_icmp_handler(host_, [this](const netsim::Packet&) {
+      ++stats_.icmp_errors;
+    });
+  }
+
+  void on_timer(std::uint64_t probe_index, std::uint64_t) override {
+    const PlannedProbe& probe = owner_->plan_.probes()[probe_index];
+    auto& sim = *owner_->sim_;
+    ++stats_.probes_sent;
+    const ScanConfig& cfg = owner_->cfg_;
+    const dnswire::Name qname = cfg.qname_for_target
+                                    ? cfg.qname_for_target(probe.target)
+                                    : cfg.qname;
+    netsim::SendOptions opts;
+    opts.dst = probe.target;
+    opts.src_port = probe.src_port;
+    opts.dst_port = 53;
+    // Every vantage sends as the shared capture address (the member
+    // ASes are SAV-free), so probe content — and with it routing, loss
+    // fates, and responder behaviour — is byte-identical to the
+    // single-vantage scan.
+    opts.spoof_src = owner_->capture_addr_;
+    opts.payload =
+        dnswire::encode(dnswire::make_query(probe.txid, qname, cfg.qtype));
+    sim.send_udp(host_, std::move(opts));
+  }
+
+  void on_datagram(const netsim::Datagram& dgram) override {
+    record_response(dgram, owner_->sim_->now(), index_, capture_, stats_);
+  }
+
+  [[nodiscard]] netsim::HostId host() const { return host_; }
+  [[nodiscard]] const std::vector<RawResponse>& capture() const {
+    return capture_;
+  }
+  [[nodiscard]] const ScannerStats& stats() const { return stats_; }
+
+ private:
+  VantageSet* owner_;
+  netsim::HostId host_;
+  std::uint32_t index_;
+  std::vector<RawResponse> capture_;
+  ScannerStats stats_;
+};
+
+VantageSet::VantageSet(netsim::Simulator& sim, ScanConfig cfg,
+                       util::Ipv4 capture_addr,
+                       std::vector<netsim::HostId> member_hosts)
+    : sim_(&sim), cfg_(std::move(cfg)), capture_addr_(capture_addr) {
+  assert(!member_hosts.empty());
+  sim_->set_vantage_capture(capture_addr_, member_hosts);
+  members_.reserve(member_hosts.size());
+  for (std::size_t j = 0; j < member_hosts.size(); ++j) {
+    members_.push_back(std::make_unique<CaptureVantage>(
+        *this, member_hosts[j], static_cast<std::uint32_t>(j)));
+  }
+}
+
+VantageSet::~VantageSet() { sim_->clear_vantage_capture(); }
+
+void VantageSet::start(const std::vector<util::Ipv4>& targets) {
+  plan_ = VantagePlan::build(*sim_, cfg_, targets);
+  const util::SimTime t0 = sim_->now();
+  std::unordered_map<netsim::HostId, std::uint32_t> member_of_host;
+  for (std::uint32_t j = 0; j < members_.size(); ++j) {
+    member_of_host.emplace(members_[j]->host(), j);
+  }
+  const auto& net = sim_->net();
+  probes_.reserve(probes_.size() + plan_.probes().size());
+  sender_.reserve(sender_.size() + plan_.probes().size());
+  for (std::size_t i = 0; i < plan_.probes().size(); ++i) {
+    const PlannedProbe& p = plan_.probes()[i];
+    probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
+    // Shard-local pacing: the member pinned to the shard that owns the
+    // probed target paces and injects the probe, so the probe leg and
+    // its direct response never cross the shard fabric. Targets without
+    // a unicast owner (anycast groups) pace from the shard-0 member.
+    const netsim::HostId owner_host = net.unicast_owner(p.target);
+    const std::uint32_t shard =
+        owner_host == netsim::kInvalidHost ? 0 : sim_->shard_of(owner_host);
+    const netsim::HostId member_host = sim_->vantage_member_for_shard(shard);
+    const std::uint32_t member = member_of_host.at(member_host);
+    sender_.push_back(member);
+    sim_->schedule_timer_on(member_host, p.at, members_[member].get(), i);
+  }
+  // Timers fire at exactly their planned instants, so the last send
+  // lands at the last plan offset (start time for an empty plan) — the
+  // value the classic scanner records after its sends complete.
+  last_send_at_ = plan_.probes().empty() ? t0 : t0 + plan_.probes().back().at;
+}
+
+void VantageSet::run_to_completion() {
+  // Same drain protocol as the classic scanner: drain all traffic,
+  // close the timeout window after the last planned send, settle.
+  sim_->run();
+  sim_->run_until(last_send_at_ + cfg_.timeout + cfg_.drain_settle);
+  sim_->run();
+}
+
+std::vector<RawResponse> VantageSet::merged_capture() const {
+  std::vector<const std::vector<RawResponse>*> buffers;
+  buffers.reserve(members_.size());
+  for (const auto& m : members_) buffers.push_back(&m->capture());
+  return merge_captures(buffers);
+}
+
+const std::vector<RawResponse>& VantageSet::capture_of(
+    std::size_t vantage) const {
+  return members_[vantage]->capture();
+}
+
+ScannerStats VantageSet::stats() const {
+  ScannerStats agg = correlate_stats_;
+  for (const auto& m : members_) agg += m->stats();
+  return agg;
+}
+
+std::vector<Transaction> VantageSet::correlate() {
+  const std::vector<RawResponse> merged = merged_capture();
+  std::vector<Transaction> out =
+      correlate_capture(probes_, merged, cfg_.timeout, correlate_stats_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!out[i].answered) out[i].vantage = sender_[i];
+  }
+  return out;
+}
+
+}  // namespace odns::scan

@@ -1,0 +1,98 @@
+#pragma once
+// Multi-vantage census measurement: a VantageSet of per-shard capture
+// hosts executing slices of one global probe plan (plan.hpp), each
+// owning a shard-local probe pacer, SentProbe slice, and RawResponse
+// capture buffer, with correlation fed by the deterministic
+// (time, vantage, seq) capture merge (correlate.hpp).
+//
+// The point (the paper's central methodological result): ODNS
+// visibility is vantage-dependent, and a single-vantage scanner is
+// also the structural scale bottleneck of the sharded simulator —
+// every response funnels into one shard. The VantageSet splits both:
+// probes for a target are paced and injected on the shard that owns
+// the target, and responses are captured by the vantage member pinned
+// to the shard that emitted them (Simulator::set_vantage_capture), so
+// the capture plane needs no cross-shard traffic at all.
+//
+// Determinism contract: every probe spoofs the shared capture address
+// and follows the plan's global (time, port, txid) schedule, and the
+// vantage members' ASes mirror the scanner AS's attachment
+// (honeypot::attach_capture_vantages) — so counters, the canonical
+// packet trace, transactions, and the downstream classify::Census are
+// byte-identical to the classic single-vantage single-threaded run,
+// for any shard count and any vantage count. See "Multi-vantage
+// census" in docs/architecture.md.
+
+#include <memory>
+#include <vector>
+
+#include "netsim/sim.hpp"
+#include "scan/plan.hpp"
+#include "scan/types.hpp"
+
+namespace odns::scan {
+
+class CaptureVantage;
+
+class VantageSet {
+ public:
+  /// Registers `member_hosts` as the simulator's capture set for
+  /// `capture_addr` (each member's AS must be SAV-free and mirror the
+  /// capture host's AS attachment — use
+  /// honeypot::attach_capture_vantages) and binds a capture socket +
+  /// ICMP sink on every member.
+  VantageSet(netsim::Simulator& sim, ScanConfig cfg, util::Ipv4 capture_addr,
+             std::vector<netsim::HostId> member_hosts);
+  /// Unregisters the capture set.
+  ~VantageSet();
+  VantageSet(const VantageSet&) = delete;
+  VantageSet& operator=(const VantageSet&) = delete;
+
+  /// Builds the global plan and schedules every probe on the vantage
+  /// member owning the probed target's shard. Call between runs (all
+  /// shard clocks synchronized), then run_to_completion().
+  void start(const std::vector<util::Ipv4>& targets);
+
+  /// Runs the simulator until every probe is sent and the timeout
+  /// window after the last probe has elapsed (same drain protocol as
+  /// TransactionalScanner::run_to_completion).
+  void run_to_completion();
+
+  /// Merges the per-vantage capture buffers in (time, vantage, seq)
+  /// order and joins them with the global probe table. Unanswered
+  /// probes are attributed to the vantage that sent them.
+  [[nodiscard]] std::vector<Transaction> correlate();
+
+  /// Global probe table, in plan order (invariant across shard and
+  /// vantage counts).
+  [[nodiscard]] const std::vector<SentProbe>& probes() const {
+    return probes_;
+  }
+  /// The merged (time, vantage, seq) capture log.
+  [[nodiscard]] std::vector<RawResponse> merged_capture() const;
+  /// One member's local capture buffer.
+  [[nodiscard]] const std::vector<RawResponse>& capture_of(
+      std::size_t vantage) const;
+  /// Aggregated statistics (field-wise sum over members + correlation).
+  [[nodiscard]] ScannerStats stats() const;
+  [[nodiscard]] std::size_t vantage_count() const { return members_.size(); }
+  [[nodiscard]] const VantagePlan& plan() const { return plan_; }
+  [[nodiscard]] util::SimTime last_send_at() const { return last_send_at_; }
+
+ private:
+  friend class CaptureVantage;
+
+  netsim::Simulator* sim_;
+  ScanConfig cfg_;
+  util::Ipv4 capture_addr_;
+  VantagePlan plan_;
+  std::vector<SentProbe> probes_;
+  /// Member index that paces probe i (an execution detail: depends on
+  /// the shard count through the target's owning shard).
+  std::vector<std::uint32_t> sender_;
+  std::vector<std::unique_ptr<CaptureVantage>> members_;
+  ScannerStats correlate_stats_;
+  util::SimTime last_send_at_;
+};
+
+}  // namespace odns::scan

@@ -1,10 +1,17 @@
 // Determinism suite for the sharded simulator (docs/architecture.md,
-// "Sharded execution"): N-shard runs (N = 1, 2, 4) must produce
+// "Sharded execution"): N-shard runs (N = 1, 2, 4, 8) must produce
 // byte-identical SimCounters, packet traces, and census/classification
 // output versus the single-threaded engine, on worker threads and
 // sequentially, for several seeds, with loss, and under mailbox
 // backpressure. The cross-shard merge rule under test is documented in
 // docs/event-engine.md ("Cross-shard merge rule").
+//
+// The MultiVantage suites extend the same bar to the multi-vantage
+// census ("Multi-vantage census", docs/architecture.md): a VantageSet
+// of per-shard capture hosts must reproduce the single-vantage
+// single-threaded run byte for byte — counters, canonical trace,
+// transactions, and the full classify::Census — for any shard count,
+// across seeds, loss, and target interleaving.
 
 #include <gtest/gtest.h>
 
@@ -14,8 +21,10 @@
 
 #include "classify/analysis.hpp"
 #include "core/census.hpp"
+#include "honeypot/lab.hpp"
 #include "nodes/forwarder.hpp"
 #include "scan/txscanner.hpp"
+#include "scan/vantage.hpp"
 #include "testutil.hpp"
 
 namespace odns {
@@ -57,17 +66,12 @@ std::string render_transactions(const std::vector<scan::Transaction>& txns) {
   return out.str();
 }
 
-/// MiniWorld + a row of transparent forwarders relaying to the open
-/// resolver: the full census packet flow (probe → TF relay → resolver
-/// iteration through root/TLD/auth → mirror answer → response straight
-/// back to the scanner), which crosses shards on every leg when the
-/// five ASes are partitioned.
-RunFingerprint run_mini_scan(SimConfig cfg, int forwarders,
-                             bool interleave = false) {
-  MiniWorld world(cfg);
-  world.sim.set_packet_trace_enabled(true);
-
-  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+/// Builds the shared scan workload into `world`: a row of transparent
+/// forwarders relaying to the open resolver, the resolver itself, and
+/// one unresponsive address. Returns the target list.
+std::vector<Ipv4> build_scan_targets(
+    MiniWorld& world, int forwarders,
+    std::vector<std::unique_ptr<TransparentForwarder>>& tfs) {
   std::vector<Ipv4> targets;
   for (int i = 0; i < forwarders; ++i) {
     const Ipv4 addr{20, 0, 9, static_cast<std::uint8_t>(1 + i)};
@@ -79,12 +83,32 @@ RunFingerprint run_mini_scan(SimConfig cfg, int forwarders,
   }
   targets.push_back(test::kResolverAddr);
   targets.push_back(Ipv4{20, 0, 9, 200});  // unresponsive: ICMP path
+  return targets;
+}
 
+scan::ScanConfig mini_scan_config(const MiniWorld& world, bool interleave) {
   scan::ScanConfig sc;
   sc.qname = world.scan_name;
   sc.timeout = Duration::seconds(4);
   sc.shard_interleave = interleave;
-  scan::TransactionalScanner scanner(world.sim, world.scanner_host, sc);
+  return sc;
+}
+
+/// MiniWorld + the shared workload, scanned by the classic
+/// single-vantage scanner: the full census packet flow (probe → TF
+/// relay → resolver iteration through root/TLD/auth → mirror answer →
+/// response straight back to the scanner), which crosses shards on
+/// every leg when the five ASes are partitioned.
+RunFingerprint run_mini_scan(SimConfig cfg, int forwarders,
+                             bool interleave = false) {
+  MiniWorld world(cfg);
+  world.sim.set_packet_trace_enabled(true);
+
+  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+  const auto targets = build_scan_targets(world, forwarders, tfs);
+
+  scan::TransactionalScanner scanner(world.sim, world.scanner_host,
+                                     mini_scan_config(world, interleave));
   scanner.start(targets);
   scanner.run_to_completion();
 
@@ -92,6 +116,34 @@ RunFingerprint run_mini_scan(SimConfig cfg, int forwarders,
   fp.counters = world.sim.counters();
   fp.trace_digest = world.sim.canonical_trace_digest();
   fp.transactions = render_transactions(scanner.correlate());
+  fp.events = world.sim.events_executed();
+  return fp;
+}
+
+/// Same workload, measured by a multi-vantage VantageSet: `vantages`
+/// capture hosts mirroring the scanner AS's attachment, spoofing the
+/// scanner address, with responses delivered shard-locally. Must be
+/// byte-identical to run_mini_scan for every shard/vantage count.
+RunFingerprint run_mini_vantage_scan(SimConfig cfg, int forwarders,
+                                     std::uint32_t vantages,
+                                     bool interleave = false) {
+  MiniWorld world(cfg);
+  world.sim.set_packet_trace_enabled(true);
+
+  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+  const auto targets = build_scan_targets(world, forwarders, tfs);
+
+  scan::VantageSet set(world.sim, mini_scan_config(world, interleave),
+                       test::kScannerAddr,
+                       honeypot::attach_capture_vantages(
+                           world.sim.net(), test::kScannerAsn, vantages));
+  set.start(targets);
+  set.run_to_completion();
+
+  RunFingerprint fp;
+  fp.counters = world.sim.counters();
+  fp.trace_digest = world.sim.canonical_trace_digest();
+  fp.transactions = render_transactions(set.correlate());
   fp.events = world.sim.events_executed();
   return fp;
 }
@@ -108,7 +160,7 @@ SimConfig sharded_cfg(std::uint32_t shards, bool threads,
 TEST(ShardedDeterminism, MiniScanInvariantAcrossShardCounts) {
   for (const std::uint64_t seed : {1ull, 7ull, 2021ull}) {
     const auto reference = run_mini_scan(sharded_cfg(1, false, seed), 6);
-    for (const std::uint32_t shards : {2u, 4u}) {
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
       for (const bool threads : {false, true}) {
         const auto fp = run_mini_scan(sharded_cfg(shards, threads, seed), 6);
         EXPECT_EQ(fp, reference)
@@ -126,7 +178,7 @@ TEST(ShardedDeterminism, LossyRunsInvariantAcrossShardCounts) {
   base.loss_rate = 0.12;
   const auto reference = run_mini_scan(base, 5);
   EXPECT_GT(reference.counters.dropped_loss, 0u);
-  for (const std::uint32_t shards : {2u, 4u}) {
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
     SimConfig cfg = sharded_cfg(shards, true, 99);
     cfg.loss_rate = 0.12;
     EXPECT_EQ(run_mini_scan(cfg, 5), reference) << "shards=" << shards;
@@ -138,7 +190,7 @@ TEST(ShardedDeterminism, InterleavedTargetsInvariantAcrossShardCounts) {
   // the schedule — and every downstream table — is still identical
   // for any real shard count (including the single-threaded engine).
   const auto reference = run_mini_scan(sharded_cfg(1, false), 6, true);
-  for (const std::uint32_t shards : {2u, 4u}) {
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
     EXPECT_EQ(run_mini_scan(sharded_cfg(shards, true), 6, true), reference)
         << "shards=" << shards;
   }
@@ -256,6 +308,124 @@ TEST(ShardedDeterminism, ClocksSynchronizeAtExplicitDeadlines) {
   EXPECT_EQ(world.sim.now(), deadline);
 }
 
+TEST(MultiVantage, MatchesSingleVantageSingleThreadByteForByte) {
+  // The tentpole acceptance bar: a multi-vantage run — 8 capture hosts
+  // executing slices of one global plan, responses delivered
+  // shard-locally — must reproduce the single-vantage single-threaded
+  // engine byte for byte (counters, canonical trace, correlated
+  // transactions, executed events) at every shard count, threaded and
+  // sequential.
+  const auto reference = run_mini_scan(sharded_cfg(1, false), 6);
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (const bool threads : {false, true}) {
+      const auto fp =
+          run_mini_vantage_scan(sharded_cfg(shards, threads), 6, 8);
+      EXPECT_EQ(fp, reference) << "shards=" << shards
+                               << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MultiVantage, InvariantAcrossSeedsLossAndInterleave) {
+  // Loss fates hash packet content + time: because every vantage
+  // spoofs the capture address and follows the global plan, even lossy
+  // multi-vantage runs must match the single-vantage baseline exactly.
+  for (const std::uint64_t seed : {3ull, 2021ull}) {
+    for (const double loss : {0.0, 0.12}) {
+      for (const bool interleave : {false, true}) {
+        SimConfig base = sharded_cfg(1, false, seed);
+        base.loss_rate = loss;
+        const auto reference = run_mini_scan(base, 5, interleave);
+        SimConfig cfg = sharded_cfg(8, true, seed);
+        cfg.loss_rate = loss;
+        EXPECT_EQ(run_mini_vantage_scan(cfg, 5, 8, interleave), reference)
+            << "seed=" << seed << " loss=" << loss
+            << " interleave=" << interleave;
+      }
+    }
+  }
+}
+
+TEST(MultiVantage, FewerVantagesThanShardsStillExact) {
+  // With members < shards, some shards capture via the mailbox fabric
+  // instead of locally — results must not change.
+  const auto reference = run_mini_scan(sharded_cfg(1, false), 6);
+  EXPECT_EQ(run_mini_vantage_scan(sharded_cfg(8, true), 6, 3), reference);
+}
+
+TEST(MultiVantage, CaptureSpreadsAcrossShards) {
+  // The structural point of the refactor: at 8 shards the response
+  // stream is captured by several members (not funneled into one), and
+  // the scanner host's shard does not execute the capture load alone.
+  SimConfig cfg = sharded_cfg(8, true);
+  MiniWorld world(cfg);
+  std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+  auto targets = build_scan_targets(world, 6, tfs);
+  // MiniWorld's one resolver answers every TF-relayed probe, which
+  // would concentrate the capture on its shard; probing the DNS
+  // hierarchy too makes responses originate from several shards.
+  targets.push_back(test::kRootAddr);
+  targets.push_back(test::kTldAddr);
+  targets.push_back(test::kAuthAddr);
+  scan::VantageSet set(world.sim, mini_scan_config(world, false),
+                       test::kScannerAddr,
+                       honeypot::attach_capture_vantages(
+                           world.sim.net(), test::kScannerAsn, 8));
+  set.start(targets);
+  set.run_to_completion();
+
+  std::size_t members_with_capture = 0;
+  std::uint64_t total_captured = 0;
+  for (std::size_t v = 0; v < set.vantage_count(); ++v) {
+    if (!set.capture_of(v).empty()) ++members_with_capture;
+    total_captured += set.capture_of(v).size();
+  }
+  EXPECT_GT(members_with_capture, 1u);
+  EXPECT_EQ(total_captured, set.merged_capture().size());
+  EXPECT_EQ(set.stats().responses_received, total_captured);
+}
+
+TEST(ShardedDeterminism, WeightedPartitionKeepsResultsInvariant) {
+  // The weighted virtual-shard placement is execution-only: any hint
+  // vector must leave every observable output untouched.
+  const auto reference = run_mini_scan(sharded_cfg(1, false), 6);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    MiniWorld world(sharded_cfg(shards, true));
+    world.sim.set_packet_trace_enabled(true);
+    std::vector<std::uint64_t> hints(Simulator::kVirtualShards, 1);
+    hints[3] = 500;  // access network: where almost all targets live
+    world.sim.set_partition_load_hints(hints);
+    std::vector<std::unique_ptr<TransparentForwarder>> tfs;
+    const auto targets = build_scan_targets(world, 6, tfs);
+    scan::TransactionalScanner scanner(world.sim, world.scanner_host,
+                                       mini_scan_config(world, false));
+    scanner.start(targets);
+    scanner.run_to_completion();
+    RunFingerprint fp;
+    fp.counters = world.sim.counters();
+    fp.trace_digest = world.sim.canonical_trace_digest();
+    fp.transactions = render_transactions(scanner.correlate());
+    fp.events = world.sim.events_executed();
+    EXPECT_EQ(fp, reference) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, WeightedPartitionBalancesByLoadHints) {
+  // LPT placement: one dominant virtual shard must be isolated on its
+  // own real shard while the light ones share the rest. MiniWorld's AS
+  // indices map to virtual shards 0..4 (tier1, infra, resolver,
+  // access, scanner).
+  MiniWorld world(sharded_cfg(2, false));
+  std::vector<std::uint64_t> hints(Simulator::kVirtualShards, 0);
+  hints[1] = 1000;  // the infra AS dwarfs everything else
+  world.sim.set_partition_load_hints(hints);
+  EXPECT_EQ(world.sim.shard_of(world.root_host), 0u);
+  EXPECT_EQ(world.sim.shard_of(world.auth_host), 0u);
+  EXPECT_EQ(world.sim.shard_of(world.resolver_host),
+            world.sim.shard_of(world.scanner_host));
+  EXPECT_EQ(world.sim.shard_of(world.resolver_host), 1u);
+}
+
 std::string census_fingerprint(const classify::Census& census) {
   std::ostringstream out;
   out << census.rr << '/' << census.rf << '/' << census.tf << '/'
@@ -274,7 +444,7 @@ std::string census_fingerprint(const classify::Census& census) {
 
 TEST(ShardedCensus, FullPipelineMatchesSingleThreadedEngine) {
   // The acceptance bar: core::run_census over a real topo world must
-  // produce an identical classify::Census for N = 1, 2, 4 shards.
+  // produce an identical classify::Census for N = 1, 2, 4, 8 shards.
   auto census_for = [](std::uint32_t shards) {
     core::CensusConfig cfg;
     cfg.topology.scale = 0.004;
@@ -288,6 +458,69 @@ TEST(ShardedCensus, FullPipelineMatchesSingleThreadedEngine) {
   ASSERT_FALSE(reference.empty());
   EXPECT_EQ(census_for(2), reference);
   EXPECT_EQ(census_for(4), reference);
+  EXPECT_EQ(census_for(8), reference);
+}
+
+/// One full multi-vantage census fingerprint (census tables + the
+/// correlated-transaction log) for the property comparison below.
+std::string census_for_property(std::uint32_t shards, std::uint32_t vantages,
+                                std::uint64_t seed, double loss,
+                                bool interleave) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = 0.003;
+  cfg.topology.max_countries = 3;
+  cfg.topology.seed = seed;
+  cfg.topology.sim.seed = seed;
+  cfg.topology.sim.loss_rate = loss;
+  cfg.sim_shards = shards;
+  cfg.shard_interleaved_targets = interleave;
+  cfg.vantages = vantages;
+  const auto result = core::run_census(cfg);
+  std::string fp = census_fingerprint(result.census);
+  fp += render_transactions(result.transactions);
+  return fp;
+}
+
+TEST(MultiVantageCensus, PropertyTablesEqualSingleVantageBaseline) {
+  // Satellite property: across seeds × loss × interleave, the
+  // multi-vantage census (8 capture hosts, 8 shards, worker threads)
+  // must produce census tables — and the transaction log they are
+  // built from — identical to the single-vantage single-thread
+  // baseline.
+  for (const std::uint64_t seed : {11ull, 42ull}) {
+    for (const double loss : {0.0, 0.08}) {
+      for (const bool interleave : {false, true}) {
+        const std::string reference =
+            census_for_property(1, 0, seed, loss, interleave);
+        ASSERT_FALSE(reference.empty());
+        EXPECT_EQ(census_for_property(8, 8, seed, loss, interleave),
+                  reference)
+            << "seed=" << seed << " loss=" << loss
+            << " interleave=" << interleave;
+      }
+    }
+  }
+}
+
+TEST(MultiVantageCensus, VantageBreakdownCoversAllTransactions) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = 0.004;
+  cfg.topology.max_countries = 4;
+  cfg.sim_shards = 4;
+  cfg.vantages = 4;
+  const auto result = core::run_census(cfg);
+  ASSERT_NE(result.vantage_set, nullptr);
+  ASSERT_EQ(result.scanner, nullptr);
+  const auto rows = classify::vantage_breakdown(result.classified);
+  std::uint64_t total = 0;
+  std::size_t active = 0;
+  for (const auto& row : rows) {
+    total += row.total();
+    if (row.total() > 0) ++active;
+  }
+  EXPECT_EQ(total, result.classified.size());
+  // Four shards, four members: the capture work really is spread out.
+  EXPECT_GT(active, 1u);
 }
 
 }  // namespace
