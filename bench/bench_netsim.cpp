@@ -31,7 +31,12 @@
 //    traffic shape): serving work spreads across shards;
 //  * sharded cross-shard relay — every target is a transparent
 //    forwarder relaying to a responder on a *different* shard, so each
-//    probe crosses the mailbox fabric twice.
+//    probe crosses the mailbox fabric twice;
+//  * amplification reflection — a reflective-amplification campaign
+//    over the relay world (one attacker spoofing four victims through
+//    every transparent forwarder, scan::AmplificationCampaign): the
+//    determinism check additionally covers the merged reflection log,
+//    the attack-scenario layer's output.
 //
 // The sharded speedup is reported from the parallel **critical path**
 // (max per-shard CPU seconds, ShardStats::busy_seconds) — the honest
@@ -47,8 +52,10 @@
 // Exits 1 on a determinism violation, 2 when any workload's speedup
 // falls below --min-speedup (CI's loud perf-regression gate).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -62,6 +69,7 @@
 #include "honeypot/lab.hpp"
 #include "netsim/sim.hpp"
 #include "nodes/forwarder.hpp"
+#include "scan/amplification.hpp"
 #include "scan/txscanner.hpp"
 #include "scan/vantage.hpp"
 #include "util/hash.hpp"
@@ -889,6 +897,135 @@ WorkloadReport bench_multi_vantage_workload(const Opts& opts) {
   return rep;
 }
 
+// --- amplification campaign workload --------------------------------
+
+/// Victim count of the amplification row: enough spoof targets to
+/// spread reflection delivery over several shards.
+constexpr int kAmpVictims = 4;
+
+/// One reflective-amplification pass over the cross-shard relay world:
+/// a single attacker injects spoofed-victim queries at the transparent
+/// forwarders, every response crosses the fabric to a victim's meter.
+/// The campaign's merged reflection log is folded into the identity
+/// hash, so the A/B also proves the *attack-scenario* output is
+/// shard-count-invariant at bench scale.
+ShardedRun run_amplification_workload(const Opts& opts, std::uint32_t shards,
+                                      bool traced, std::uint64_t packets,
+                                      bool threads = false) {
+  ShardedWorld w = build_sharded_world(opts, /*relay=*/true, shards, threads);
+  auto& sim = *w.sim;
+  if (traced) sim.set_packet_trace_enabled(true);
+
+  scan::AmplificationConfig ac;
+  ac.qname = *dnswire::Name::parse("amp.scan.odns-study.net");
+  ac.probes_per_second = 1000000;  // census pacing shape, compressed
+  ac.settle = util::Duration::seconds(1);
+  scan::AmplificationCampaign campaign(sim, ac);
+  campaign.add_attacker(w.scanner);
+  for (int v = 0; v < kAmpVictims; ++v) {
+    const std::uint32_t asn =
+        2 + (static_cast<std::uint32_t>(v) * (opts.ases - 1)) / kAmpVictims;
+    const Ipv4 addr{10, static_cast<std::uint8_t>(asn % 250),
+                    static_cast<std::uint8_t>(asn / 250),
+                    static_cast<std::uint8_t>(220 + v)};
+    const auto host = sim.net().add_host(asn, {addr});
+    campaign.add_victim(host, addr);
+  }
+  // One spoofed query per (victim, reflector) pair: cycle the TF row
+  // until the campaign injects ~`packets` queries.
+  const std::uint64_t per_victim =
+      std::max<std::uint64_t>(packets / kAmpVictims, 1);
+  std::vector<Ipv4> reflectors;
+  reflectors.reserve(per_victim);
+  for (std::uint64_t i = 0; i < per_victim; ++i) {
+    reflectors.push_back(w.targets[i % w.targets.size()]);
+  }
+
+  ShardedRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  campaign.start(reflectors);
+  campaign.run_to_completion();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.base.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.base.counters = sim.counters();
+  if (traced) r.base.trace_hash = sim.canonical_trace_digest();
+  hash_routes(sim, w.targets, r.base);
+  for (const auto& refl : campaign.merged_reflections()) {
+    r.base.route_hash = fnv1a64(r.base.route_hash, refl.victim.value());
+    r.base.route_hash = fnv1a64(r.base.route_hash, refl.src.value());
+    r.base.route_hash = fnv1a64(
+        r.base.route_hash, std::uint64_t{refl.src_port} << 48 |
+                               std::uint64_t{refl.dst_port} << 32 |
+                               (refl.truncated ? 1u : 0u));
+    r.base.route_hash = fnv1a64(r.base.route_hash, refl.bytes);
+    r.base.route_hash = fnv1a64(
+        r.base.route_hash, static_cast<std::uint64_t>(refl.at.nanos()));
+  }
+  if (shards > 1) {
+    for (std::uint32_t s = 0; s < sim.shard_count(); ++s) {
+      const auto& stats = sim.shard_stats(s);
+      r.critical_seconds = std::max(r.critical_seconds, stats.busy_seconds);
+      r.mailbox_in += stats.mailbox_in;
+      r.mailbox_overflows += stats.mailbox_overflows;
+    }
+  } else {
+    r.critical_seconds = r.base.seconds;
+  }
+  return r;
+}
+
+/// The amplification_reflection row: 1-shard typed engine vs. the
+/// N-shard run of the same campaign, critical-path measured like the
+/// other sharded rows. Identity covers counters, the canonical trace,
+/// router hops, AND the merged reflection log.
+WorkloadReport bench_amplification_workload(const Opts& opts) {
+  constexpr int kRepeats = 3;
+  WorkloadReport rep;
+  rep.name = "amplification_reflection";
+  rep.baseline_label = "one_shard";
+  rep.fast_label = "sharded_critical_path";
+  rep.has_shard_stats = true;
+  rep.shards = opts.shards;
+  ShardedRun baseline, fast, fast_threaded;
+  for (int rep_i = 0; rep_i < kRepeats; ++rep_i) {
+    auto b = run_amplification_workload(opts, 1, false, opts.packets);
+    auto f = run_amplification_workload(opts, opts.shards, false,
+                                        opts.packets, /*threads=*/false);
+    auto ft = run_amplification_workload(opts, opts.shards, false,
+                                         opts.packets, /*threads=*/true);
+    if (rep_i == 0 || b.critical_seconds < baseline.critical_seconds) {
+      baseline = std::move(b);
+    }
+    if (rep_i == 0 || f.critical_seconds < fast.critical_seconds) {
+      fast = std::move(f);
+    }
+    if (rep_i == 0 || ft.base.seconds < fast_threaded.base.seconds) {
+      fast_threaded = std::move(ft);
+    }
+  }
+  rep.baseline_pps =
+      static_cast<double>(opts.packets) / baseline.critical_seconds;
+  rep.fast_pps = static_cast<double>(opts.packets) / fast.critical_seconds;
+  rep.speedup = rep.fast_pps / rep.baseline_pps;
+  rep.sharded_wall_pps =
+      static_cast<double>(opts.packets) / fast_threaded.base.seconds;
+  rep.mailbox_in = fast.mailbox_in;
+  rep.mailbox_overflows = fast.mailbox_overflows;
+  const std::uint64_t vpackets = std::min<std::uint64_t>(opts.packets, 30000);
+  const auto vb = run_amplification_workload(opts, 1, true, vpackets);
+  const auto vf =
+      run_amplification_workload(opts, opts.shards, true, vpackets);
+  rep.identical =
+      counters_equal(vb.base.counters, vf.base.counters) &&
+      vb.base.trace_hash == vf.base.trace_hash &&
+      vb.base.route_hash == vf.base.route_hash &&
+      counters_equal(baseline.base.counters, fast.base.counters) &&
+      counters_equal(fast.base.counters, fast_threaded.base.counters) &&
+      baseline.base.route_hash == fast.base.route_hash &&
+      fast.base.route_hash == fast_threaded.base.route_hash;
+  return rep;
+}
+
 void print_report(const WorkloadReport& r) {
   std::cout << r.name << "\n"
             << "  " << r.baseline_label << ": "
@@ -927,7 +1064,8 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
       << "  \"config\": {\"packets\": " << opts.packets
       << ", \"ases\": " << opts.ases << ", \"internal_hops\": " << opts.hops
       << ", \"dests\": " << opts.dests << ", \"seed\": " << opts.seed
-      << ", \"shards\": " << opts.shards << "},\n"
+      << ", \"shards\": " << opts.shards
+      << ", \"cores\": " << std::thread::hardware_concurrency() << "},\n"
       << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const auto& r = reps[i];
@@ -982,6 +1120,7 @@ int main(int argc, char** argv) {
   reps.push_back(bench_sharded_workload(opts, "sharded_cross_shard_relay",
                                         /*relay=*/true));
   reps.push_back(bench_multi_vantage_workload(opts));
+  reps.push_back(bench_amplification_workload(opts));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);

@@ -5,112 +5,112 @@
 // on the victim, arriving from many distinct resolver PoPs even though
 // the attacker targeted a flat list of CPE devices.
 //
-// This is a defensive measurement: it quantifies the exposure that
-// motivates the paper's call to include transparent forwarders in
-// notification feeds, and shows how per-/24 response rate limiting
-// (the sensor defense) caps the same traffic.
+// This is a defensive measurement, driven end to end by the
+// attack-scenario platform (core/attack.hpp, "Attack scenarios" in
+// docs/architecture.md): it quantifies the exposure that motivates the
+// paper's call to include transparent forwarders in notification
+// feeds, then answers the two deployable what-ifs — how much attack
+// volume response rate limiting at the top resolver ASes removes, and
+// how partial SAV deployment at the attacker's origin networks starves
+// the campaign at the source.
 //
 //   $ ./examples/amplification_study
 
 #include <iostream>
-#include <unordered_set>
 
+#include "core/attack.hpp"
 #include "core/census.hpp"
-#include "dnswire/codec.hpp"
-#include "honeypot/lab.hpp"
 #include "util/table.hpp"
 
 using namespace odns;
 
 namespace {
 
-/// Counts the victim's unsolicited inbound DNS traffic.
-class VictimMeter : public netsim::App {
- public:
-  void on_datagram(const netsim::Datagram& dgram) override {
-    ++responses;
-    bytes += dgram.payload->size();
-    sources.insert(dgram.src);
+core::CensusConfig census_config() {
+  core::CensusConfig cfg;
+  cfg.topology.scale = 0.004;
+  cfg.topology.seed = 321;
+  return cfg;
+}
+
+void print_sweep(const std::string& title,
+                 const std::vector<core::DefenseSweepRow>& rows) {
+  std::cout << title << '\n';
+  util::Table table({"deployment", "responses", "truncated",
+                     "bytes on victims", "BAF", "volume removed"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, util::Table::fmt_count(row.responses),
+                   util::Table::fmt_count(row.truncated),
+                   util::Table::fmt_count(row.bytes_reflected),
+                   util::Table::fmt_double(row.factor, 2) + "x",
+                   util::Table::fmt_percent(row.removed_vs_baseline)});
   }
-  std::uint64_t responses = 0;
-  std::uint64_t bytes = 0;
-  std::unordered_set<util::Ipv4> sources;
-};
+  table.print(std::cout);
+  std::cout << '\n';
+}
 
 }  // namespace
 
 int main() {
-  core::CensusConfig cfg;
-  cfg.topology.scale = 0.004;
-  cfg.topology.seed = 321;
-  auto result = core::run_census(cfg);
-  auto& world = *result.world;
+  core::AttackScenarioConfig attack;
+  attack.max_reflectors = 400;
 
-  // Victim and attacker networks.
-  const auto victim_host = honeypot::attach_vantage(
-      world, util::Prefix{util::Ipv4{198, 18, 40, 0}, 24},
-      util::Ipv4{198, 18, 40, 40});
-  const util::Ipv4 victim_addr{198, 18, 40, 40};
-  VictimMeter meter;
-  world.sim().bind_udp_wildcard(victim_host, &meter);
+  // The undefended campaign, with full injection/reflection logs.
+  auto census = core::run_census(census_config());
+  const auto undefended = core::run_attack_scenario(census, attack);
+  const auto& report = undefended.report;
 
-  const auto attacker_host = honeypot::attach_vantage(
-      world, util::Prefix{util::Ipv4{198, 18, 41, 0}, 24},
-      util::Ipv4{198, 18, 41, 41}, /*sav=*/false);
+  std::cout << "Attackers spoof " << report.victims.size()
+            << " victims toward " << report.total_queries / 2
+            << " transparent forwarders...\n\n";
 
-  // Reflector list: transparent forwarders found by the census.
-  std::vector<util::Ipv4> reflectors;
-  for (const auto& item : result.classified) {
-    if (item.klass == classify::Klass::transparent_forwarder) {
-      reflectors.push_back(item.txn.target);
+  util::Table victims({"victim", "queries spoofed", "bytes spent",
+                       "responses", "bytes received", "BAF"});
+  for (const auto& v : report.victims) {
+    victims.add_row({v.victim.to_string(), util::Table::fmt_count(v.queries),
+                     util::Table::fmt_count(v.bytes_sent),
+                     util::Table::fmt_count(v.responses),
+                     util::Table::fmt_count(v.bytes_reflected),
+                     util::Table::fmt_double(v.factor(), 2) + "x"});
+  }
+  victims.print(std::cout);
+
+  std::cout << "\nWhy this is hard to attribute: the reflected traffic "
+               "is credited (via Routeviews) to "
+            << report.by_resolver_as.size()
+            << " resolver ASes, not to the CPE devices the attacker "
+               "drove. Top reflecting ASes:\n";
+  const auto top = core::top_resolver_ases(report, 5);
+  util::Table ases({"resolver AS", "responses", "bytes reflected"});
+  for (const auto asn : top) {
+    for (const auto& row : report.by_resolver_as) {
+      if (row.asn == asn) {
+        ases.add_row({"AS" + std::to_string(row.asn),
+                      util::Table::fmt_count(row.responses),
+                      util::Table::fmt_count(row.bytes_reflected)});
+      }
     }
-    if (reflectors.size() == 400) break;
   }
-  std::cout << "Attacker spoofs " << victim_addr.to_string() << " toward "
-            << reflectors.size() << " transparent forwarders...\n";
+  ases.print(std::cout);
+  std::cout << '\n';
 
-  const auto query = dnswire::make_query(
-      0x6666, world.scan_name(), dnswire::RrType::a);
-  const auto query_wire = dnswire::encode(query);
-  std::uint64_t attack_bytes = 0;
-  std::uint16_t port = 30000;
-  for (const auto reflector : reflectors) {
-    netsim::SendOptions opts;
-    opts.dst = reflector;
-    opts.src_port = port++;
-    opts.dst_port = 53;
-    opts.payload = query_wire;
-    opts.spoof_src = victim_addr;  // the reflection
-    attack_bytes += query_wire.size();
-    world.sim().send_udp(attacker_host, std::move(opts));
-  }
-  world.sim().run();
+  // What-if 1: knot-style RRL (per-/24 token bucket + slip) deployed
+  // at the top-N reflecting resolver ASes, ranked by the undefended
+  // baseline. Each row rebuilds the world, so rows are independent.
+  core::AttackScenarioConfig rrl = attack;
+  rrl.rrl = {/*rate=*/5, /*burst=*/5, /*slip=*/2};
+  print_sweep("What-if: response rate limiting at the top-N resolver ASes",
+              core::sweep_rrl_deployment(census_config(), rrl, {1, 4, 16}));
 
-  std::cout << "\nVictim received " << meter.responses
-            << " unsolicited responses (" << meter.bytes << " bytes) from "
-            << meter.sources.size() << " distinct source addresses.\n";
-  std::cout << "Bandwidth amplification factor: "
-            << util::Table::fmt_double(
-                   static_cast<double>(meter.bytes) /
-                       static_cast<double>(attack_bytes == 0 ? 1
-                                                             : attack_bytes),
-                   2)
-            << "x (attacker sent " << attack_bytes << " bytes)\n";
+  // What-if 2: partial SAV (BCP 38) deployment at the attackers'
+  // origin ASes — spoofed injections die at the source, while the
+  // bytes the attacker spent stay in the denominator.
+  print_sweep("What-if: SAV deployment at k of the attacker origin ASes",
+              core::sweep_sav_deployment(census_config(), attack));
 
-  std::cout << "\nWhy this is hard to attribute: the victim's traffic "
-               "arrives from resolver service addresses ("
-            << [&] {
-                 std::size_t anycast = 0;
-                 for (const auto src : meter.sources) {
-                   if (classify::project_of_service_addr(src)) ++anycast;
-                 }
-                 return anycast;
-               }()
-            << " of them big-4 anycast), not from the "
-            << reflectors.size() << " CPE devices the attacker drove.\n";
-
-  std::cout << "\nA per-/24 response rate limit (the honeypot sensors' "
-               "defense) would cap this reflection at one response per "
-               "window per victim prefix.\n";
+  std::cout << "RRL trims the reflected volume at the resolvers that "
+               "amplify it; SAV at the origin removes the spoofed "
+               "injections entirely. Both leave the attacker's spend "
+               "on the books — the defenses move the numerator.\n";
   return 0;
 }

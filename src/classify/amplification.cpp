@@ -1,0 +1,90 @@
+#include "classify/amplification.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace odns::classify {
+
+namespace {
+
+/// Fixed-point (4 decimal places) rendering so the fingerprint never
+/// depends on floating-point formatting.
+std::string factor_fixed(std::uint64_t reflected, std::uint64_t sent) {
+  if (sent == 0) return "0.0000";
+  const std::uint64_t scaled = reflected * 10000 / sent;
+  std::ostringstream out;
+  out << scaled / 10000 << '.';
+  const std::uint64_t frac = scaled % 10000;
+  out << static_cast<char>('0' + frac / 1000)
+      << static_cast<char>('0' + frac / 100 % 10)
+      << static_cast<char>('0' + frac / 10 % 10)
+      << static_cast<char>('0' + frac % 10);
+  return out.str();
+}
+
+}  // namespace
+
+AmplificationReport amplification_report(
+    const std::vector<scan::Injection>& injections,
+    const std::vector<scan::Reflection>& reflections,
+    const registry::RegistrySnapshot& registry) {
+  AmplificationReport report;
+
+  std::map<util::Ipv4, VictimAmplification> victims;
+  for (const auto& inj : injections) {
+    auto& row = victims[inj.victim];
+    row.victim = inj.victim;
+    ++row.queries;
+    row.bytes_sent += inj.bytes;
+    ++report.total_queries;
+    report.total_bytes_sent += inj.bytes;
+  }
+
+  std::map<netsim::Asn, ResolverAsAmplification> by_as;
+  for (const auto& refl : reflections) {
+    auto& row = victims[refl.victim];
+    row.victim = refl.victim;
+    ++row.responses;
+    if (refl.truncated) ++row.truncated;
+    row.bytes_reflected += refl.bytes;
+
+    const auto asn = registry.routeviews.origin_of(refl.src).value_or(0);
+    auto& as_row = by_as[asn];
+    as_row.asn = asn;
+    ++as_row.responses;
+    as_row.bytes_reflected += refl.bytes;
+
+    ++report.total_responses;
+    if (refl.truncated) ++report.total_truncated;
+    report.total_bytes_reflected += refl.bytes;
+  }
+
+  report.victims.reserve(victims.size());
+  for (auto& [addr, row] : victims) report.victims.push_back(row);
+  report.by_resolver_as.reserve(by_as.size());
+  for (auto& [asn, row] : by_as) report.by_resolver_as.push_back(row);
+  return report;
+}
+
+std::string AmplificationReport::fingerprint() const {
+  std::ostringstream out;
+  for (const auto& v : victims) {
+    out << "victim " << v.victim.to_string() << " q=" << v.queries
+        << " sent=" << v.bytes_sent << " resp=" << v.responses
+        << " tc=" << v.truncated << " refl=" << v.bytes_reflected
+        << " baf=" << factor_fixed(v.bytes_reflected, v.bytes_sent) << '\n';
+  }
+  for (const auto& a : by_resolver_as) {
+    out << "as " << a.asn << " resp=" << a.responses
+        << " refl=" << a.bytes_reflected << '\n';
+  }
+  out << "total q=" << total_queries << " sent=" << total_bytes_sent
+      << " resp=" << total_responses << " tc=" << total_truncated
+      << " refl=" << total_bytes_reflected
+      << " baf=" << factor_fixed(total_bytes_reflected, total_bytes_sent)
+      << '\n';
+  return out.str();
+}
+
+}  // namespace odns::classify

@@ -1,0 +1,75 @@
+#pragma once
+// Amplification accounting over a reflective campaign's injection and
+// reflection logs: bytes-reflected / bytes-sent per victim and the
+// reflected volume attributed per resolver AS (via the registry's
+// Routeviews view, like every other join in this module — never ground
+// truth). The tables are pure aggregations of shard-count-invariant
+// inputs, so their canonical fingerprint is the comparison surface the
+// determinism property tests assert on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registry/registry.hpp"
+#include "scan/amplification.hpp"
+
+namespace odns::classify {
+
+struct VictimAmplification {
+  util::Ipv4 victim;
+  std::uint64_t queries = 0;        // injections spoofing this victim
+  std::uint64_t bytes_sent = 0;     // attacker bytes spent on them
+  std::uint64_t responses = 0;      // datagrams reflected onto the victim
+  std::uint64_t truncated = 0;      // of those, RRL slip stubs (TC=1)
+  std::uint64_t bytes_reflected = 0;
+
+  /// Bandwidth amplification factor (BAF): bytes landing on the victim
+  /// per spoofed byte spent.
+  [[nodiscard]] double factor() const {
+    return bytes_sent == 0
+               ? 0.0
+               : static_cast<double>(bytes_reflected) /
+                     static_cast<double>(bytes_sent);
+  }
+};
+
+struct ResolverAsAmplification {
+  netsim::Asn asn = 0;  // 0 = reflection source unmapped by Routeviews
+  std::uint64_t responses = 0;
+  std::uint64_t bytes_reflected = 0;
+};
+
+struct AmplificationReport {
+  std::vector<VictimAmplification> victims;          // ascending by address
+  std::vector<ResolverAsAmplification> by_resolver_as;  // ascending by ASN
+  std::uint64_t total_queries = 0;
+  std::uint64_t total_bytes_sent = 0;
+  std::uint64_t total_responses = 0;
+  std::uint64_t total_truncated = 0;
+  std::uint64_t total_bytes_reflected = 0;
+
+  [[nodiscard]] double overall_factor() const {
+    return total_bytes_sent == 0
+               ? 0.0
+               : static_cast<double>(total_bytes_reflected) /
+                     static_cast<double>(total_bytes_sent);
+  }
+
+  /// Canonical byte-exact rendering of the tables (integer fields
+  /// only, factors in fixed-point), used verbatim by the shard-count
+  /// invariance tests: two runs made the same amplification tables iff
+  /// the strings are equal.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Aggregates a campaign's logs into the report. Injection bytes count
+/// as spent even when SAV drops them at the origin AS — deploying SAV
+/// is supposed to drive the victim's factor toward zero, not shrink
+/// the denominator.
+[[nodiscard]] AmplificationReport amplification_report(
+    const std::vector<scan::Injection>& injections,
+    const std::vector<scan::Reflection>& reflections,
+    const registry::RegistrySnapshot& registry);
+
+}  // namespace odns::classify

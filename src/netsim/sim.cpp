@@ -4,21 +4,9 @@
 #include <utility>
 
 #include "netsim/shard_state.hpp"
+#include "netsim/stateless.hpp"
 
 namespace odns::netsim {
-
-namespace {
-
-/// splitmix64 finalizer — the stateless mixing step behind the
-/// per-packet loss decision.
-inline std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 thread_local Simulator::Shard* Simulator::tl_shard_ = nullptr;
 thread_local const Simulator* Simulator::tl_owner_ = nullptr;
@@ -220,7 +208,7 @@ bool Simulator::loss_drop(Asn origin_as, const Packet& pkt,
   // Stateless core: the decision depends on (seed, packet identity,
   // time), never on how many draws happened before — so loss patterns
   // are identical for every shard count and event interleaving.
-  std::uint64_t h = mix64(cfg_.seed ^ 0x6C6F73735F686173ull);  // "loss_has"
+  std::uint64_t h = mix64(cfg_.seed ^ kLossDomain);
   h = mix64(h ^ (std::uint64_t{pkt.src.value()} << 32 | pkt.dst.value()));
   h = mix64(h ^ (std::uint64_t{pkt.src_port} << 48 |
                  std::uint64_t{pkt.dst_port} << 32 |

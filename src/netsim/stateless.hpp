@@ -1,0 +1,45 @@
+#pragma once
+// Stateless per-packet decision hashing — the one mechanism allowed
+// for stochastic packet-plane choices (loss, RRL slip). A decision is
+// a pure function of (seed, decision domain, packet identity, time):
+// it never draws from an RNG stream, so it does not depend on how many
+// decisions other packets made before it. That independence is what
+// keeps every shard count and event interleaving byte-identical — a
+// per-shard RNG stream would reorder draws the moment the partition
+// changes. See "Attack scenarios" in docs/architecture.md.
+
+#include <cstdint>
+
+namespace odns::netsim {
+
+/// Domain separators keep unrelated decisions decorrelated even when
+/// they hash the same packet at the same instant.
+inline constexpr std::uint64_t kLossDomain = 0x6C6F73735F686173ull;     // "loss_has"
+inline constexpr std::uint64_t kRrlSlipDomain = 0x72726C5F736C6970ull;  // "rrl_slip"
+
+/// splitmix64 finalizer — the stateless mixing step behind every
+/// per-packet decision.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Chains up to three identity words into one decision hash. Callers
+/// fold packet identity (addresses, ports, txid) and the decision
+/// instant into the words; equal inputs always produce equal
+/// decisions, on any shard, in any order.
+[[nodiscard]] inline std::uint64_t stateless_decision(std::uint64_t seed,
+                                                      std::uint64_t domain,
+                                                      std::uint64_t w0,
+                                                      std::uint64_t w1 = 0,
+                                                      std::uint64_t w2 = 0) {
+  std::uint64_t h = mix64(seed ^ domain);
+  h = mix64(h ^ w0);
+  h = mix64(h ^ w1);
+  h = mix64(h ^ w2);
+  return h;
+}
+
+}  // namespace odns::netsim

@@ -69,6 +69,10 @@ Zone& AuthServer::add_zone(const Name& origin) {
   return z;
 }
 
+Zone* AuthServer::zone_for_mutable(const Name& name) {
+  return const_cast<Zone*>(zone_for(name));
+}
+
 void AuthServer::start() { sim().bind_udp(host(), kDnsPort, this); }
 
 const Zone* AuthServer::zone_for(const Name& qname) const {

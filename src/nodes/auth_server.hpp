@@ -70,6 +70,10 @@ class AuthServer : public DnsNode {
   AuthServer(netsim::Simulator& sim, netsim::HostId host);
 
   Zone& add_zone(const dnswire::Name& origin);
+  /// Mutable longest-match zone lookup (the zone `name` would be
+  /// answered from), or nullptr. Adding records between runs is safe —
+  /// zone data is not topology, so the shard partition is untouched.
+  [[nodiscard]] Zone* zone_for_mutable(const dnswire::Name& name);
   void set_mirror(MirrorConfig cfg) { mirror_ = std::move(cfg); }
   /// Enables answering any not-otherwise-matched name under a zone with
   /// this address — the query-based (destination-encoded) method needs

@@ -1,5 +1,7 @@
 #include "nodes/ratelimit.hpp"
 
+#include <algorithm>
+
 namespace odns::nodes {
 
 bool PrefixRateLimiter::allow(util::Ipv4 src, util::SimTime now) {
@@ -17,6 +19,62 @@ bool PrefixRateLimiter::allow(util::Ipv4 src, util::SimTime now) {
   }
   ++denied_;
   return false;
+}
+
+RrlAction ResponseRateLimiter::check(util::Ipv4 client, util::SimTime now,
+                                     std::uint64_t flow) {
+  if (cfg_.rate == 0) {
+    ++stats_.passed;
+    return RrlAction::pass;
+  }
+  const std::int64_t rate = cfg_.rate;
+  const std::int64_t cap =
+      static_cast<std::int64_t>(cfg_.burst == 0 ? cfg_.rate : cfg_.burst) *
+      kToken;
+
+  const auto prefix = util::Prefix::covering24(client);
+  auto [it, fresh] = buckets_.try_emplace(prefix);
+  Bucket& b = it->second;
+  if (fresh) {
+    b.tokens = cap;
+    b.at = now.nanos();
+    b.gate_open = true;
+  } else if (b.at != now.nanos()) {
+    // Refill from the last decision instant; clamp the elapsed time so
+    // the multiply cannot overflow (past cap/rate seconds the bucket is
+    // full anyway).
+    const std::int64_t elapsed = now.nanos() - b.at;
+    if (elapsed >= cap / rate) {
+      b.tokens = cap;
+    } else {
+      b.tokens = std::min(cap, b.tokens + elapsed * rate);
+    }
+    b.at = now.nanos();
+    // The gate verdict for this instant: decided once from the tokens
+    // at instant start, shared by every same-instant arrival — the
+    // instant-commutativity the sharded merge order requires.
+    b.gate_open = b.tokens >= kToken;
+  }
+
+  if (b.gate_open) {
+    // Consumption may overdraw within the instant (bounded debt): the
+    // next instant's refill works it off before the gate reopens.
+    b.tokens = std::max(b.tokens - kToken, -cap);
+    ++stats_.passed;
+    return RrlAction::pass;
+  }
+
+  if (cfg_.slip > 0) {
+    const std::uint64_t h = netsim::stateless_decision(
+        seed_, netsim::kRrlSlipDomain, client.value(), flow,
+        static_cast<std::uint64_t>(now.nanos()));
+    if (h % cfg_.slip == 0) {
+      ++stats_.slipped;
+      return RrlAction::slip;
+    }
+  }
+  ++stats_.dropped;
+  return RrlAction::drop;
 }
 
 }  // namespace odns::nodes

@@ -1,11 +1,16 @@
 #pragma once
-// Per-/24-prefix rate limiter, the anti-amplification guard the paper's
-// honeypot sensors deploy: one answer per source /24 per window, which
-// also blunts DoS carpet-bombing (whole-prefix victim spraying).
+// Per-/24-prefix rate limiters, the anti-amplification guards of this
+// codebase. PrefixRateLimiter is the honeypot sensors' coarse one-
+// answer-per-window grant. ResponseRateLimiter is resolver-side RRL in
+// the knot style: a token bucket per client /24 plus "slip" — a
+// fraction of limited responses goes out as a minimal truncated (TC=1)
+// reply so legitimate clients behind the limited prefix can fall back
+// to TCP while reflected amplification stays clamped.
 
 #include <cstdint>
 #include <unordered_map>
 
+#include "netsim/stateless.hpp"
 #include "util/ipv4.hpp"
 #include "util/time.hpp"
 
@@ -29,6 +34,76 @@ class PrefixRateLimiter {
   std::unordered_map<util::Prefix, util::SimTime> last_grant_;
   std::uint64_t granted_ = 0;
   std::uint64_t denied_ = 0;
+};
+
+/// Resolver-side response rate limiting (knot-style token bucket).
+struct RrlConfig {
+  /// Responses per second admitted per client /24. 0 disables RRL.
+  std::uint32_t rate = 0;
+  /// Bucket capacity in responses (burst allowance). 0 = `rate`.
+  std::uint32_t burst = 0;
+  /// Of the limited responses, roughly 1/slip go out as a minimal
+  /// truncated (TC=1) reply instead of being dropped; 1 truncates all
+  /// limited responses, 0 drops them all. Which responses slip is a
+  /// stateless per-packet hash (netsim::stateless_decision), never an
+  /// every-Nth counter — a counter's value would depend on the order
+  /// same-instant packets interleave in, which differs across shard
+  /// counts.
+  std::uint32_t slip = 2;
+};
+
+enum class RrlAction : std::uint8_t { pass, slip, drop };
+
+struct RrlStats {
+  std::uint64_t passed = 0;
+  std::uint64_t slipped = 0;
+  std::uint64_t dropped = 0;
+
+  RrlStats& operator+=(const RrlStats& o) {
+    passed += o.passed;
+    slipped += o.slipped;
+    dropped += o.dropped;
+    return *this;
+  }
+};
+
+/// Token-bucket RRL with shard-count-invariant decisions. Tokens are
+/// integer nanotokens refilled by elapsed simulated time, so the state
+/// a packet observes is a function of *prior instants* only. Within
+/// one instant the bucket is deliberately instant-commutative: the
+/// pass/limit gate is decided once per nanosecond from the tokens at
+/// that instant's start and applies to every same-instant arrival
+/// (consumption may overdraw into bounded debt). Same-instant arrival
+/// *order* at a host is not invariant across shard counts — only
+/// decisions that commute at one instant are safe to make from
+/// stateful handlers (the loss path's burst counter solves the same
+/// problem; see "Attack scenarios" in docs/architecture.md).
+class ResponseRateLimiter {
+ public:
+  ResponseRateLimiter(RrlConfig cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  /// Decision for one response to `client` at `now`. `flow` is the
+  /// response's flow identity (client port, txid) — slip entropy.
+  RrlAction check(util::Ipv4 client, util::SimTime now, std::uint64_t flow);
+
+  [[nodiscard]] const RrlConfig& config() const { return cfg_; }
+  [[nodiscard]] const RrlStats& stats() const { return stats_; }
+
+ private:
+  /// One simulated second of nanotokens == one response's worth.
+  static constexpr std::int64_t kToken = 1'000'000'000;
+
+  struct Bucket {
+    std::int64_t tokens = 0;
+    std::int64_t at = -1;     // instant the gate below was decided for
+    bool gate_open = true;    // pass/limit verdict for this instant
+  };
+
+  RrlConfig cfg_;
+  std::uint64_t seed_;
+  std::unordered_map<util::Prefix, Bucket> buckets_;
+  RrlStats stats_;
 };
 
 }  // namespace odns::nodes

@@ -37,7 +37,46 @@ RecursiveResolver::RecursiveResolver(netsim::Simulator& sim,
                                      netsim::HostId host, ResolverConfig cfg,
                                      std::uint64_t seed)
     : DnsNode(sim, host), cfg_(std::move(cfg)), cache_(cfg_.max_ttl),
-      rng_(seed) {}
+      rng_(seed), seed_(seed) {
+  if (cfg_.rrl.rate > 0) rrl_.emplace(cfg_.rrl, seed_);
+}
+
+void RecursiveResolver::set_rrl(RrlConfig rrl) {
+  cfg_.rrl = rrl;
+  if (rrl.rate > 0) {
+    rrl_.emplace(rrl, seed_);
+  } else {
+    rrl_.reset();
+  }
+}
+
+void RecursiveResolver::send_client_response(
+    util::Ipv4 addr, std::uint16_t port, const Message& resp,
+    std::optional<util::Ipv4> src_override) {
+  if (rrl_) {
+    const std::uint64_t flow = (std::uint64_t{port} << 16) | resp.header.id;
+    switch (rrl_->check(addr, sim().now(), flow)) {
+      case RrlAction::pass:
+        ++stats_.rrl_passed;
+        break;
+      case RrlAction::slip: {
+        ++stats_.rrl_slipped;
+        ++counters_.rate_limited;
+        Message tc;
+        tc.header = resp.header;
+        tc.header.tc = true;
+        tc.questions = resp.questions;
+        send_message(addr, kDnsPort, port, tc, src_override);
+        return;
+      }
+      case RrlAction::drop:
+        ++stats_.rrl_dropped;
+        ++counters_.rate_limited;
+        return;
+    }
+  }
+  send_message(addr, kDnsPort, port, resp, src_override);
+}
 
 void RecursiveResolver::start() {
   sim().bind_udp(host(), kDnsPort, this);
@@ -59,7 +98,9 @@ void RecursiveResolver::handle_client_query(const netsim::Datagram& dgram,
                                             const Message& msg) {
   ++stats_.client_queries;
   if (msg.questions.size() != 1) {
-    reply(dgram, dnswire::make_response(msg, Rcode::formerr));
+    send_client_response(dgram.src, dgram.src_port,
+                         dnswire::make_response(msg, Rcode::formerr),
+                         dgram.dst);
     return;
   }
   const auto& q = msg.questions.front();
@@ -73,7 +114,8 @@ void RecursiveResolver::handle_client_query(const netsim::Datagram& dgram,
       ++counters_.refused;
       Message resp = dnswire::make_response(msg, Rcode::refused);
       resp.header.ra = false;
-      reply(dgram, resp, cfg_.service_addr);
+      send_client_response(dgram.src, dgram.src_port, resp,
+                           cfg_.service_addr.value_or(dgram.dst));
       return;
     }
   }
@@ -87,7 +129,8 @@ void RecursiveResolver::handle_client_query(const netsim::Datagram& dgram,
                                                    : Rcode::noerror);
     resp.header.ra = true;
     resp.answers = hit->records;
-    reply(dgram, resp, cfg_.service_addr);
+    send_client_response(dgram.src, dgram.src_port, resp,
+                         cfg_.service_addr.value_or(dgram.dst));
     return;
   }
 
@@ -359,7 +402,7 @@ void RecursiveResolver::respond_all(
     resp.questions.push_back(task->original);
     resp.answers = answers;
     const util::Ipv4 reply_src = cfg_.service_addr.value_or(client.arrival_dst);
-    send_message(client.addr, kDnsPort, client.port, resp, reply_src);
+    send_client_response(client.addr, client.port, resp, reply_src);
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "nodes/cache.hpp"
 #include "nodes/dns_node.hpp"
+#include "nodes/ratelimit.hpp"
 #include "util/rng.hpp"
 
 namespace odns::nodes {
@@ -36,6 +37,11 @@ struct ResolverConfig {
   /// for off-path response forgery (dns-0x20 draft; deployed by large
   /// public resolvers).
   bool case_randomization = true;
+  /// Response rate limiting toward clients (rate == 0 disables). Gates
+  /// every client-facing response — reflective amplification through
+  /// this resolver is clamped to rate + slipped TC replies per victim
+  /// /24 per second.
+  RrlConfig rrl;
 };
 
 struct ResolverStats {
@@ -47,6 +53,9 @@ struct ResolverStats {
   std::uint64_t upstream_timeouts = 0;
   std::uint64_t servfails = 0;
   std::uint64_t rejected_0x20 = 0;  // responses with mangled name case
+  std::uint64_t rrl_passed = 0;
+  std::uint64_t rrl_slipped = 0;   // limited, answered with a TC=1 stub
+  std::uint64_t rrl_dropped = 0;
 };
 
 class RecursiveResolver : public DnsNode, public netsim::TimerTarget {
@@ -66,6 +75,13 @@ class RecursiveResolver : public DnsNode, public netsim::TimerTarget {
   [[nodiscard]] const DnsCache& cache() const { return cache_; }
   DnsCache& cache_mutable() { return cache_; }
   [[nodiscard]] const ResolverConfig& config() const { return cfg_; }
+
+  /// (Re)arms response rate limiting — the defense-sweep toggle. A
+  /// fresh limiter (empty buckets) is installed; call between runs.
+  void set_rrl(RrlConfig rrl);
+  [[nodiscard]] const ResponseRateLimiter* rrl() const {
+    return rrl_ ? &*rrl_ : nullptr;
+  }
 
  protected:
   void on_message(const netsim::Datagram& dgram, dnswire::Message msg) override;
@@ -111,6 +127,13 @@ class RecursiveResolver : public DnsNode, public netsim::TimerTarget {
   void respond_all(const TaskPtr& task, dnswire::Rcode rcode,
                    const std::vector<dnswire::ResourceRecord>& answers);
 
+  /// RRL gate in front of every client-facing send: pass emits `resp`
+  /// unchanged, slip emits a minimal TC=1 echo of the question, drop
+  /// emits nothing. With RRL disabled this is exactly send_message.
+  void send_client_response(util::Ipv4 addr, std::uint16_t port,
+                            const dnswire::Message& resp,
+                            std::optional<util::Ipv4> src_override);
+
   /// Best cached name-server addresses for `name`: walks up the label
   /// tree looking for cached NS + glue; falls back to root hints.
   std::vector<util::Ipv4> best_servers_for(const dnswire::Name& name);
@@ -127,6 +150,8 @@ class RecursiveResolver : public DnsNode, public netsim::TimerTarget {
   ResolverConfig cfg_;
   DnsCache cache_;
   util::Rng rng_;
+  std::uint64_t seed_;  // also seeds the RRL slip hash
+  std::optional<ResponseRateLimiter> rrl_;
   ResolverStats stats_;
   std::unordered_map<std::string, TaskPtr> inflight_;  // by question key
   std::unordered_map<std::uint32_t, PendingUpstream> pending_upstream_;
