@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "dnswire/arena.hpp"
+#include "dnswire/arena_codec.hpp"
 #include "dnswire/codec.hpp"
 #include "netsim/event_queue.hpp"
 #include "nodes/cache.hpp"
@@ -60,6 +62,93 @@ void BM_DecodeMirrorResponse(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * wire.size()));
 }
 BENCHMARK(BM_DecodeMirrorResponse);
+
+// Arena codec counterparts (docs/architecture.md, "Zero-allocation
+// wire path"): same messages, decoded/encoded through a warmed
+// WireArena that is reset per message — the serving-loop shape, where
+// the steady state does zero heap allocations (the property
+// tests/alloc_audit_test.cpp enforces).
+
+void BM_ArenaEncodeMirrorResponse(benchmark::State& state) {
+  dnswire::WireArena view_arena;
+  const auto view = dnswire::view_of(view_arena, mirror_response());
+  dnswire::WireArena tx;
+  for (auto _ : state) {
+    tx.reset();
+    benchmark::DoNotOptimize(dnswire::encode_into(tx, view));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArenaEncodeMirrorResponse);
+
+void BM_ArenaDecodeMirrorResponse(benchmark::State& state) {
+  const auto wire = dnswire::encode(mirror_response());
+  dnswire::WireArena rx;
+  for (auto _ : state) {
+    rx.reset();
+    auto decoded = dnswire::decode_into(rx, wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_ArenaDecodeMirrorResponse);
+
+/// The full arena serving unit — decode the query, echo it as a
+/// two-record mirror response, encode — against the heap equivalent
+/// below (BM_HeapServeMirror): the per-message cost a census auth
+/// server pays at 20k pps.
+void BM_ArenaServeMirror(benchmark::State& state) {
+  const auto query_wire = dnswire::encode(dnswire::make_query(
+      0x4242, *dnswire::Name::parse("scan.odns-study.net"),
+      dnswire::RrType::a));
+  dnswire::WireArena rx;
+  dnswire::WireArena tx;
+  for (auto _ : state) {
+    rx.reset();
+    tx.reset();
+    auto parsed = dnswire::decode_into(rx, query_wire);
+    const auto& q = parsed.value();
+    auto answers = tx.alloc_array<dnswire::RecordView>(2);
+    answers[0].name = q.questions.front().name;
+    answers[0].type = dnswire::RrType::a;
+    answers[0].ttl = 300;
+    answers[0].rdata.tag = dnswire::RdataView::Tag::a;
+    answers[0].rdata.a_addr = Ipv4{74, 125, 0, 10};
+    answers[1] = answers[0];
+    answers[1].rdata.a_addr = Ipv4{198, 51, 100, 200};
+    dnswire::MessageView resp;
+    resp.header.id = q.header.id;
+    resp.header.qr = true;
+    resp.header.aa = true;
+    resp.header.rd = q.header.rd;
+    resp.questions = q.questions;
+    resp.answers = answers;
+    benchmark::DoNotOptimize(dnswire::encode_into(tx, resp));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArenaServeMirror);
+
+void BM_HeapServeMirror(benchmark::State& state) {
+  const auto query_wire = dnswire::encode(dnswire::make_query(
+      0x4242, *dnswire::Name::parse("scan.odns-study.net"),
+      dnswire::RrType::a));
+  const auto name = *dnswire::Name::parse("scan.odns-study.net");
+  for (auto _ : state) {
+    auto parsed = dnswire::decode(query_wire);
+    auto resp = dnswire::make_response(parsed.value());
+    resp.header.aa = true;
+    resp.answers.push_back(
+        dnswire::ResourceRecord::a(name, Ipv4{74, 125, 0, 10}, 300));
+    resp.answers.push_back(
+        dnswire::ResourceRecord::a(name, Ipv4{198, 51, 100, 200}, 300));
+    benchmark::DoNotOptimize(dnswire::encode(resp));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HeapServeMirror);
 
 void BM_DecodeCompressedNames(benchmark::State& state) {
   auto resp = mirror_response();

@@ -64,6 +64,8 @@
 #include <string>
 #include <vector>
 
+#include "dnswire/arena.hpp"
+#include "dnswire/arena_codec.hpp"
 #include "dnswire/codec.hpp"
 #include "dnswire/message.hpp"
 #include "honeypot/lab.hpp"
@@ -382,6 +384,62 @@ class DnsResponder : public netsim::App {
  private:
   Simulator* sim_;
   HostId host_;
+};
+
+/// Arena-codec counterpart of DnsResponder with a batch entry point:
+/// one cohort of queries is served through decode_into → view-built
+/// mirror answer → encode_into, arenas reset per message — the
+/// zero-allocation serving loop (docs/architecture.md,
+/// "Zero-allocation wire path"). Responses are byte-identical to
+/// DnsResponder's, so the scalar-vs-batched A/B can require identical
+/// traces and counters.
+class ArenaDnsResponder : public netsim::App {
+ public:
+  ArenaDnsResponder(Simulator& sim, HostId host) : sim_(&sim), host_(host) {}
+
+  void on_datagram(const netsim::Datagram& dgram) override { serve(dgram); }
+
+  void on_batch(std::span<const netsim::Datagram> batch) override {
+    for (const auto& dgram : batch) serve(dgram);
+  }
+
+ private:
+  void serve(const netsim::Datagram& dgram) {
+    rx_.reset();
+    tx_.reset();
+    auto parsed = dnswire::decode_into(
+        rx_, std::span<const std::uint8_t>(*dgram.payload));
+    if (!parsed.ok()) return;
+    const dnswire::MessageView& msg = parsed.value();
+    if (msg.header.qr || msg.questions.empty()) return;
+    auto answers = tx_.alloc_array<dnswire::RecordView>(2);
+    answers[0].name = msg.questions.front().name;
+    answers[0].type = dnswire::RrType::a;
+    answers[0].ttl = 60;
+    answers[0].rdata.tag = dnswire::RdataView::Tag::a;
+    answers[0].rdata.a_addr = dgram.src;
+    answers[1] = answers[0];
+    answers[1].rdata.a_addr = Ipv4{203, 0, 113, 9};
+    dnswire::MessageView resp;
+    resp.header.id = msg.header.id;
+    resp.header.qr = true;
+    resp.header.rd = msg.header.rd;
+    resp.header.ra = true;
+    resp.questions = msg.questions;
+    resp.answers = answers;
+    const auto wire = dnswire::encode_into(tx_, resp);
+    netsim::SendOptions out;
+    out.dst = dgram.src;
+    out.src_port = dgram.dst_port;
+    out.dst_port = dgram.src_port;
+    out.payload.assign(wire.begin(), wire.end());
+    sim_->send_udp(host_, std::move(out));
+  }
+
+  Simulator* sim_;
+  HostId host_;
+  dnswire::WireArena rx_;
+  dnswire::WireArena tx_;
 };
 
 /// Sends one pacing slot's worth of pre-encoded probes per timer fire
@@ -1026,6 +1084,198 @@ WorkloadReport bench_amplification_workload(const Opts& opts) {
   return rep;
 }
 
+// --- batch delivery cohort workload ---------------------------------
+
+/// World for the batch_delivery_cohort row: ring topology, one DNS
+/// responder per non-vantage AS answering the two-record mirror shape.
+/// `fast` selects batched delivery + the arena serving path; the
+/// baseline is scalar delivery + the heap codec. Responses are
+/// byte-identical either way, so the A/B requires identical counters
+/// and canonical traces.
+struct BatchWorld {
+  std::unique_ptr<Simulator> sim;
+  HostId scanner = netsim::kInvalidHost;
+  std::vector<Ipv4> targets;
+  std::vector<std::unique_ptr<netsim::App>> responders;
+  NullSink sink;
+};
+
+BatchWorld build_batch_world(const Opts& opts, bool fast) {
+  BatchWorld w;
+  netsim::SimConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.batch_delivery = fast;
+  w.sim = std::make_unique<Simulator>(cfg);
+  auto& net = w.sim->net();
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    netsim::AsConfig as;
+    as.asn = i;
+    as.internal_hops = opts.hops;
+    net.add_as(as);
+    net.announce(i, Prefix{Ipv4{10, static_cast<std::uint8_t>(i % 250), 0, 0},
+                           16});
+  }
+  for (std::uint32_t i = 1; i <= opts.ases; ++i) {
+    net.link(i, i % opts.ases + 1);  // ring
+    if (i % 7 == 0 && i + opts.ases / 3 <= opts.ases) {
+      net.link(i, i + opts.ases / 3);  // chord
+    }
+  }
+  auto host_addr = [&](std::uint32_t asn, std::uint8_t lo) {
+    return Ipv4{10, static_cast<std::uint8_t>(asn % 250),
+                static_cast<std::uint8_t>(asn / 250), lo};
+  };
+  w.scanner = net.add_host(1, {host_addr(1, 1)});
+  w.sim->bind_udp_wildcard(w.scanner, &w.sink);
+  for (std::uint32_t asn = 2; asn <= opts.ases; ++asn) {
+    const Ipv4 addr = host_addr(asn, 53);
+    const auto host = net.add_host(asn, {addr});
+    if (fast) {
+      w.responders.push_back(
+          std::make_unique<ArenaDnsResponder>(*w.sim, host));
+    } else {
+      w.responders.push_back(std::make_unique<DnsResponder>(*w.sim, host));
+    }
+    w.sim->bind_udp(host, 53, w.responders.back().get());
+    w.targets.push_back(addr);
+  }
+  return w;
+}
+
+/// Destination-major injection: per drain, each responder receives a
+/// back-to-back run of same-destination probes — the amplification /
+/// retransmission-wave shape that lands whole delivery cohorts in one
+/// timestamp bucket, which is exactly what the batch plane packs into
+/// on_batch calls. The timed section covers injection + routing +
+/// delivery + DNS serving + the response leg.
+RunResult run_batch_workload(const Opts& opts, bool fast, bool traced,
+                             std::uint64_t packets) {
+  BatchWorld w = build_batch_world(opts, fast);
+  auto& sim = *w.sim;
+  if (traced) sim.set_packet_trace_enabled(true);
+  const auto query = dnswire::encode(dnswire::make_query(
+      0x777, *dnswire::Name::parse("scan.odns-study.net"),
+      dnswire::RrType::a));
+  RunResult r;
+  constexpr std::uint64_t kRun = 64;  // per-destination run per drain
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t p = 0;
+  while (p < packets) {
+    for (const auto dst : w.targets) {
+      for (std::uint64_t i = 0; i < kRun && p < packets; ++i, ++p) {
+        netsim::SendOptions send;
+        send.dst = dst;
+        send.src_port = static_cast<std::uint16_t>(40000 + (p & 0xFFF));
+        send.dst_port = 53;
+        send.ttl = 255;
+        send.payload = query;
+        sim.send_udp(w.scanner, std::move(send));
+      }
+      if (p >= packets) break;
+    }
+    sim.run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.counters = sim.counters();
+  if (traced) r.trace_hash = sim.canonical_trace_digest();
+  hash_routes(sim, w.targets, r);
+  return r;
+}
+
+WorkloadReport bench_batch_workload(const Opts& opts) {
+  return ab_workload(
+      opts, "batch_delivery_cohort", "scalar_heap", "batched_arena",
+      [&](bool fast, bool traced, std::uint64_t packets) {
+        return run_batch_workload(opts, fast, traced, packets);
+      });
+}
+
+// --- arena codec serving row ----------------------------------------
+
+/// Keeps timing-mode codec outputs observable without paying the
+/// verification hash inside the timed loop.
+volatile std::uint64_t g_codec_sink = 0;
+
+/// Pure-codec A/B outside the simulator: serve `packets` mirror
+/// transactions (decode the query, build the two-record answer, encode)
+/// through the heap codec vs. the warmed-arena codec. The traced
+/// verification pass hashes every output byte — the arena path must
+/// produce the exact wire images the heap path does, message for
+/// message; timing passes skip the hash.
+RunResult run_codec_workload(bool arena, bool traced,
+                             std::uint64_t packets) {
+  auto query_wire = dnswire::encode(dnswire::make_query(
+      0x4242, *dnswire::Name::parse("scan.odns-study.net"),
+      dnswire::RrType::a));
+  const auto name = *dnswire::Name::parse("scan.odns-study.net");
+  RunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (arena) {
+    dnswire::WireArena rx;
+    dnswire::WireArena tx;
+    for (std::uint64_t p = 0; p < packets; ++p) {
+      query_wire[0] = static_cast<std::uint8_t>(p >> 8);
+      query_wire[1] = static_cast<std::uint8_t>(p);
+      rx.reset();
+      tx.reset();
+      auto parsed = dnswire::decode_into(rx, query_wire);
+      const dnswire::MessageView& q = parsed.value();
+      auto answers = tx.alloc_array<dnswire::RecordView>(2);
+      answers[0].name = q.questions.front().name;
+      answers[0].type = dnswire::RrType::a;
+      answers[0].ttl = 300;
+      answers[0].rdata.tag = dnswire::RdataView::Tag::a;
+      answers[0].rdata.a_addr = Ipv4{74, 125, 0, 10};
+      answers[1] = answers[0];
+      answers[1].rdata.a_addr = Ipv4{198, 51, 100, 200};
+      dnswire::MessageView resp;
+      resp.header.id = q.header.id;
+      resp.header.qr = true;
+      resp.header.aa = true;
+      resp.header.rd = q.header.rd;
+      resp.questions = q.questions;
+      resp.answers = answers;
+      const auto out = dnswire::encode_into(tx, resp);
+      if (traced) {
+        r.route_hash = fnv1a64(r.route_hash, out.size());
+        for (const auto b : out) r.route_hash = fnv1a64(r.route_hash, b);
+      } else {
+        g_codec_sink = g_codec_sink + out.size();
+      }
+    }
+  } else {
+    for (std::uint64_t p = 0; p < packets; ++p) {
+      query_wire[0] = static_cast<std::uint8_t>(p >> 8);
+      query_wire[1] = static_cast<std::uint8_t>(p);
+      auto parsed = dnswire::decode(query_wire);
+      auto resp = dnswire::make_response(parsed.value());
+      resp.header.aa = true;
+      resp.answers.push_back(
+          dnswire::ResourceRecord::a(name, Ipv4{74, 125, 0, 10}, 300));
+      resp.answers.push_back(
+          dnswire::ResourceRecord::a(name, Ipv4{198, 51, 100, 200}, 300));
+      const auto out = dnswire::encode(resp);
+      if (traced) {
+        r.route_hash = fnv1a64(r.route_hash, out.size());
+        for (const auto b : out) r.route_hash = fnv1a64(r.route_hash, b);
+      } else {
+        g_codec_sink = g_codec_sink + out.size();
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+WorkloadReport bench_codec_workload(const Opts& opts) {
+  return ab_workload(opts, "arena_codec_serve", "heap", "arena",
+                     [&](bool fast, bool traced, std::uint64_t packets) {
+                       return run_codec_workload(fast, traced, packets);
+                     });
+}
+
 void print_report(const WorkloadReport& r) {
   std::cout << r.name << "\n"
             << "  " << r.baseline_label << ": "
@@ -1121,6 +1371,8 @@ int main(int argc, char** argv) {
                                         /*relay=*/true));
   reps.push_back(bench_multi_vantage_workload(opts));
   reps.push_back(bench_amplification_workload(opts));
+  reps.push_back(bench_codec_workload(opts));
+  reps.push_back(bench_batch_workload(opts));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);

@@ -1,12 +1,29 @@
 #!/usr/bin/env bash
 # Fails (exit 1) when a markdown file under docs/ or the README links
-# to a relative path that does not exist. External links (http/https/
-# mailto) and pure #fragments are skipped; a #fragment on a relative
-# link is checked against the file part only. Run from anywhere inside
-# the repo; CI runs it as a build gate.
+# to a relative path that does not exist, or to a #fragment that does
+# not match any heading anchor in the target markdown file. External
+# links (http/https/mailto) are skipped; a pure #fragment link is
+# checked against the containing file's own headings. Anchors are
+# compared GitHub-style: lowercase the heading, drop everything that
+# is not alphanumeric/space/hyphen/underscore, turn spaces into
+# hyphens. Run from anywhere inside the repo; CI runs it as a build
+# gate.
 set -u
 
 cd "$(dirname "$0")/.."
+
+slugify() {
+  printf '%s\n' "$1" | tr '[:upper:]' '[:lower:]' \
+    | sed 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# Prints one GitHub-style anchor slug per heading of $1.
+anchors_of() {
+  local heading
+  while IFS= read -r heading; do
+    slugify "$(printf '%s' "$heading" | sed -E 's/^#+[[:space:]]+//')"
+  done < <(grep -E '^#{1,6}[[:space:]]' "$1")
+}
 
 status=0
 # shellcheck disable=SC2207
@@ -19,13 +36,38 @@ for file in "${files[@]}"; do
   # are split by the global grep -o.
   while IFS= read -r target; do
     case "$target" in
-      http://*|https://*|mailto:*|'#'*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     path="${target%%#*}"
-    [ -z "$path" ] && continue
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
-      echo "DEAD LINK: $file -> $target"
-      status=1
+    fragment=""
+    case "$target" in
+      *'#'*) fragment="${target#*#}" ;;
+    esac
+
+    # Resolve the file part (empty path = same-file fragment link).
+    resolved="$file"
+    if [ -n "$path" ]; then
+      if [ -e "$dir/$path" ]; then
+        resolved="$dir/$path"
+      elif [ -e "$path" ]; then
+        resolved="$path"
+      else
+        echo "DEAD LINK: $file -> $target"
+        status=1
+        continue
+      fi
+    fi
+
+    # Fragment check, for markdown targets only.
+    if [ -n "$fragment" ]; then
+      case "$resolved" in
+        *.md)
+          if ! anchors_of "$resolved" | grep -Fxq "$fragment"; then
+            echo "DEAD ANCHOR: $file -> $target (no heading '#$fragment' in $resolved)"
+            status=1
+          fi
+          ;;
+      esac
     fi
   done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/^\[[^]]*\](//; s/)$//')
 done

@@ -22,12 +22,20 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "netsim/packet.hpp"
 #include "util/time.hpp"
 
 namespace odns::netsim {
+
+/// One delivery extracted from a same-timestamp cohort: the packet
+/// plus its destination host, handed to the sink as part of a batch.
+struct DeliverItem {
+  Packet pkt;
+  HostId host = kInvalidHost;
+};
 
 /// Receiver of typed timer events. Implementations interpret the two
 /// argument words themselves (connection keys, generations, target
@@ -48,6 +56,14 @@ class PacketSink {
   virtual void deliver_event(Packet&& pkt, HostId host) = 0;
   virtual void icmp_event(IcmpType type, Packet&& offender,
                           util::Ipv4 router, Asn origin_as) = 0;
+  /// Batch entry point: a maximal run of consecutive delivery events
+  /// from one same-timestamp cohort, in sequence order. The default
+  /// replays the scalar path, so custom sinks keep their semantics;
+  /// the Simulator overrides it to amortize route-memo and node
+  /// dispatch across the run (docs/event-engine.md, "Batch delivery").
+  virtual void deliver_batch_event(std::span<DeliverItem> batch) {
+    for (auto& item : batch) deliver_event(std::move(item.pkt), item.host);
+  }
 };
 
 class EventQueue {
@@ -94,6 +110,14 @@ class EventQueue {
     legacy_mode_ = on;
   }
   [[nodiscard]] bool legacy_mode() const { return legacy_mode_; }
+
+  /// Toggles batch extraction of delivery runs in step_batch(). Both
+  /// modes execute the identical (time, seq) total order — batching
+  /// only changes how many events one sink call covers — so the switch
+  /// is safe at any point and is the equivalence tests' A/B lever
+  /// (tests/batch_plane_test.cpp).
+  void set_batch_delivery(bool on) { batch_enabled_ = on; }
+  [[nodiscard]] bool batch_delivery() const { return batch_enabled_; }
 
   [[nodiscard]] bool empty() const {
     return legacy_mode_ ? legacy_heap_.empty() : time_heap_.empty();
@@ -256,8 +280,10 @@ class EventQueue {
 
   std::priority_queue<LegacyEntry, std::vector<LegacyEntry>, LegacyLater>
       legacy_heap_;
+  std::vector<DeliverItem> batch_scratch_;  // reused across cohorts
   PacketSink* sink_ = nullptr;
   bool legacy_mode_ = false;
+  bool batch_enabled_ = true;
   util::SimTime now_ = util::SimTime::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -135,6 +135,18 @@ class Network {
   [[nodiscard]] std::optional<RouteView> route_view(RouteCache& cache,
                                                     Asn from,
                                                     util::Ipv4 dst) const;
+  /// Entry-level variant of route_view for the batch plane's per-shard
+  /// route memo: identical lookup/stats semantics, but hands back the
+  /// cache entry so the caller can pin its span shared_ptr across
+  /// rehashes. With the cache disabled the reference aliases
+  /// `cache.scratch` and is clobbered by the next lookup.
+  [[nodiscard]] const RouteCache::RouteEntry& route_entry(
+      RouteCache& cache, Asn from, util::Ipv4 dst) const {
+    return lookup_route(cache, from, dst);
+  }
+  /// The cache behind the classic API shapes, so single-shard batch
+  /// callers memoize against the same stats the tests observe.
+  [[nodiscard]] RouteCache& default_cache() const { return default_cache_; }
 
   /// A/B switch for benchmarking and equivalence tests: with the cache
   /// off, every lookup recomputes the route from scratch (the pre-cache

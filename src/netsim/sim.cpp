@@ -16,6 +16,7 @@ Simulator::Simulator(SimConfig cfg) : cfg_(cfg) {
   shards_.reserve(cfg_.shards);
   for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(*this, i, cfg_.shards, cfg_));
+    shards_.back()->events.set_batch_delivery(cfg_.batch_delivery);
   }
 }
 
@@ -86,6 +87,11 @@ void Simulator::set_typed_events_enabled(bool on) {
 
 bool Simulator::typed_events_enabled() const {
   return !shards_[0]->events.legacy_mode();
+}
+
+void Simulator::set_batch_delivery_enabled(bool on) {
+  cfg_.batch_delivery = on;
+  for (auto& sh : shards_) sh->events.set_batch_delivery(on);
 }
 
 const SimCounters& Simulator::counters() const {
@@ -352,13 +358,39 @@ void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
     return;
   }
 
-  // Cached zero-copy lookup: the view borrows the cache's hop vector,
-  // which stays valid for the rest of this (synchronous) function.
-  // Single-shard runs share the Network's default cache (the classic
+  // Cached zero-copy lookup, fronted by a per-shard one-entry route
+  // memo: batch cohorts inject response and relay bursts with the same
+  // (origin AS, destination) back-to-back, so the common case skips
+  // even the cache probe. A memo hit counts as a cache hit — the entry
+  // it pins was served from cached state and would have hit — so
+  // observable stats match the classic path exactly. Single-shard runs
+  // memoize against the Network's default cache (the classic
   // observable-stats path); sharded runs use this shard's private one.
-  const auto route = single_shard()
-                         ? net_.route_view(origin_as, pkt.dst)
-                         : net_.route_view(sh.route_cache, origin_as, pkt.dst);
+  std::optional<RouteView> route;
+  if (net_.route_cache_enabled()) {
+    RouteCache& cache = single_shard() ? net_.default_cache() : sh.route_cache;
+    Shard::RouteMemo& memo = sh.route_memo;
+    const std::uint64_t epoch = net_.topology_epoch();
+    if (memo.epoch == epoch && memo.from == origin_as && memo.dst == pkt.dst) {
+      ++cache.stats.hits;
+    } else {
+      const RouteCache::RouteEntry& entry =
+          net_.route_entry(cache, origin_as, pkt.dst);
+      memo.epoch = epoch;  // == entry.epoch: lookup stamps the entry
+      memo.from = origin_as;
+      memo.dst = pkt.dst;
+      memo.span = entry.span.get();
+      memo.dst_host = entry.dst_host;
+    }
+    if (memo.span != nullptr) {
+      route = RouteView{&memo.span->router_hops, &memo.span->as_path,
+                        memo.dst_host};
+    }
+  } else {
+    route = single_shard()
+                ? net_.route_view(origin_as, pkt.dst)
+                : net_.route_view(sh.route_cache, origin_as, pkt.dst);
+  }
   if (!route) {
     ++sh.counters.dropped_no_route;
     emit(sh, TapEvent::dropped_no_route, pkt);
@@ -460,6 +492,59 @@ void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
   dgram.ttl = pkt.ttl;
   dgram.payload = &pkt.payload;
   app->on_datagram(dgram);
+}
+
+App* Simulator::batchable_app(const Packet& pkt, HostId host) {
+  if (pkt.proto != Protocol::udp) return nullptr;
+  HostState* st = find_state(host);
+  if (st == nullptr) return nullptr;
+  if (st->redirects.find(pkt.dst_port) != st->redirects.end()) return nullptr;
+  auto sock = st->sockets.find(pkt.dst_port);
+  if (sock != st->sockets.end()) return sock->second;
+  return st->wildcard;  // nullptr falls back to scalar (port unreachable)
+}
+
+void Simulator::deliver_batch(Shard& sh, std::span<DeliverItem> items) {
+  std::size_t i = 0;
+  while (i < items.size()) {
+    DeliverItem& first = items[i];
+    assert(single_shard() || host_shard_[first.host] == sh.index);
+    App* app = batchable_app(first.pkt, first.host);
+    if (app == nullptr) {
+      // ICMP, transparent-forwarder relays, and unbound ports keep the
+      // scalar path — they re-inject or answer synchronously, which the
+      // run grouping must not reorder around.
+      deliver(sh, std::move(first.pkt), first.host);
+      ++i;
+      continue;
+    }
+    // Maximal run for one (host, port) binding. The binding cannot
+    // change under the run: apps must not rebind their own socket or
+    // install a redirect for their own port from inside a batch
+    // (App::on_batch contract), so resolving it once is exact.
+    std::size_t j = i;
+    sh.batch_dgrams.clear();
+    while (j < items.size()) {
+      DeliverItem& item = items[j];
+      if (item.host != first.host || item.pkt.proto != Protocol::udp ||
+          item.pkt.dst_port != first.pkt.dst_port) {
+        break;
+      }
+      ++sh.counters.delivered;
+      emit(sh, TapEvent::delivered, item.pkt);
+      Datagram dgram;
+      dgram.src = item.pkt.src;
+      dgram.dst = item.pkt.dst;
+      dgram.src_port = item.pkt.src_port;
+      dgram.dst_port = item.pkt.dst_port;
+      dgram.ttl = item.pkt.ttl;
+      dgram.payload = &item.pkt.payload;
+      sh.batch_dgrams.push_back(dgram);
+      ++j;
+    }
+    app->on_batch(std::span<const Datagram>(sh.batch_dgrams));
+    i = j;
+  }
 }
 
 }  // namespace odns::netsim

@@ -49,6 +49,16 @@ class App {
  public:
   virtual ~App() = default;
   virtual void on_datagram(const Datagram& dgram) = 0;
+  /// Batch entry point: a run of same-instant datagrams for this app on
+  /// one (host, port) binding, in delivery order. The default is the
+  /// scalar loop, so apps opt in only when they can amortize per-
+  /// message work (arena reuse, shared classification). Payload
+  /// pointers are valid only for the duration of the call. An app must
+  /// not rebind its own socket or install a redirect for its own port
+  /// from inside a batch (docs/architecture.md, "Batch packet plane").
+  virtual void on_batch(std::span<const Datagram> batch) {
+    for (const auto& dgram : batch) on_datagram(dgram);
+  }
 };
 
 using IcmpHandler = std::function<void(const Packet&)>;
@@ -88,6 +98,14 @@ struct SimConfig {
   /// Values above hop_latency are clamped down to it — a longer window
   /// would violate the conservative-admission invariant.
   util::Duration lookahead = util::Duration::nanos(0);
+
+  // --- batch packet plane ("Batch packet plane", docs/architecture.md)
+  /// Process same-timestamp delivery cohorts as packet batches: one
+  /// route-memo lookup per (source-AS, destination) run, one dispatch
+  /// per (host, port) run. Event order and every observable output are
+  /// byte-identical with batching off (tests/batch_plane_test.cpp);
+  /// this switch is the equivalence tests' and benches' A/B lever.
+  bool batch_delivery = true;
 };
 
 struct SimCounters {
@@ -188,6 +206,14 @@ class Simulator {
   /// runtime is typed-only).
   void set_typed_events_enabled(bool on);
   [[nodiscard]] bool typed_events_enabled() const;
+
+  /// A/B switch for the batch packet plane (SimConfig::batch_delivery):
+  /// toggles batch extraction on every shard's event queue. Safe at any
+  /// time — both modes run the identical event order.
+  void set_batch_delivery_enabled(bool on);
+  [[nodiscard]] bool batch_delivery_enabled() const {
+    return cfg_.batch_delivery;
+  }
 
   // --- sharding ------------------------------------------------------
   [[nodiscard]] std::uint32_t shard_count() const {
@@ -353,6 +379,14 @@ class Simulator {
   /// originated traffic (ICMP), which is exempt from SAV.
   void inject(Shard& sh, Packet pkt, Asn origin_as, bool from_router);
   void deliver(Shard& sh, Packet pkt, HostId host);
+  /// Batch delivery (set_batch_delivery_enabled): processes a cohort
+  /// run, grouping consecutive same-(host, port) UDP packets into one
+  /// App::on_batch call; redirects, ICMP, and unbound ports fall back
+  /// to the scalar deliver() in order.
+  void deliver_batch(Shard& sh, std::span<DeliverItem> items);
+  /// The app a packet would dispatch to if it takes the batchable fast
+  /// path (plain UDP, no redirect on its port); nullptr otherwise.
+  [[nodiscard]] App* batchable_app(const Packet& pkt, HostId host);
   void send_icmp(Shard& sh, IcmpType type, util::Ipv4 from,
                  const Packet& offender, Asn origin_as);
   /// Routes a packet-plane event to its owning shard: locally when

@@ -107,6 +107,61 @@ void AuthServer::answer_mirror(const netsim::Datagram& dgram,
   reply(dgram, resp);
 }
 
+bool AuthServer::build_mirror_response(dnswire::WireArena& arena,
+                                       const dnswire::MessageView& query,
+                                       util::Ipv4 client,
+                                       dnswire::MessageView& out) const {
+  if (query.header.qr) return false;
+  if (!mirror_) return false;
+  if (query.questions.size() != 1) return false;
+  const auto& q = query.questions.front();
+  if (q.type != RrType::a && q.type != RrType::any) return false;
+  if (!q.name.equals(mirror_->name)) return false;
+
+  const auto& cfg = *mirror_;
+  const std::size_t n = cfg.include_control ? 2 : 1;
+  auto answers = arena.alloc_array<dnswire::RecordView>(n);
+  // Dynamic record first: mirrors the immediate client — for relayed
+  // queries this is the recursive resolver's egress address, which is
+  // exactly what lets the scanner see *which* resolver served it. The
+  // owner name reuses the question's view; the encoder compresses it
+  // to a pointer at the echoed question, exactly as the heap path
+  // compresses cfg.name there (the suffix key is case-folded).
+  answers[0].name = q.name;
+  answers[0].type = RrType::a;
+  answers[0].ttl = cfg.ttl;
+  answers[0].rdata.tag = dnswire::RdataView::Tag::a;
+  answers[0].rdata.a_addr = client;
+  if (cfg.include_control) {
+    answers[1] = answers[0];
+    answers[1].rdata.a_addr = cfg.control_addr;
+  }
+
+  out = dnswire::MessageView{};
+  out.header.id = query.header.id;
+  out.header.qr = true;
+  out.header.rd = query.header.rd;
+  out.header.aa = true;
+  out.questions = query.questions;
+  out.answers = answers;
+  return true;
+}
+
+bool AuthServer::on_message_view(const netsim::Datagram& dgram,
+                                 const dnswire::MessageView& msg) {
+  if (msg.header.qr) return true;  // not a query; ignore (as on_message)
+  // Query logging and rate limiting want heap Names / per-source state;
+  // those configurations keep the heap model end to end.
+  if (log_queries_ || limiter_) return false;
+  dnswire::MessageView resp;
+  if (!build_mirror_response(scratch_arena(), msg, dgram.src, resp)) {
+    return false;
+  }
+  ++queries_answered_;
+  reply_view(dgram, resp);
+  return true;
+}
+
 void AuthServer::on_message(const netsim::Datagram& dgram, Message msg) {
   if (msg.header.qr) return;  // not a query; ignore
   if (msg.questions.size() != 1) {

@@ -97,7 +97,21 @@ class AuthServer : public DnsNode {
     return limiter_ ? &*limiter_ : nullptr;
   }
 
+  /// Arena-native mirror classification: if `query` takes the
+  /// recursive-mirror answer, builds the response view in `arena` and
+  /// returns true. Together with decode_into/encode_into this is the
+  /// zero-heap serving unit the allocation audit drives
+  /// (tests/alloc_audit_test.cpp); answer bytes are identical to the
+  /// heap path's, because the answer owner name compresses to a
+  /// pointer at the echoed question either way.
+  [[nodiscard]] bool build_mirror_response(dnswire::WireArena& arena,
+                                           const dnswire::MessageView& query,
+                                           util::Ipv4 client,
+                                           dnswire::MessageView& out) const;
+
  protected:
+  bool on_message_view(const netsim::Datagram& dgram,
+                       const dnswire::MessageView& msg) override;
   void on_message(const netsim::Datagram& dgram, dnswire::Message msg) override;
 
  private:

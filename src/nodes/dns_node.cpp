@@ -4,28 +4,52 @@ namespace odns::nodes {
 
 void DnsNode::on_datagram(const netsim::Datagram& dgram) {
   ++counters_.datagrams_in;
-  auto parsed = dnswire::decode(*dgram.payload);
+  rx_arena_.reset();
+  scratch_arena_.reset();
+  auto parsed = dnswire::decode_into(
+      rx_arena_, std::span<const std::uint8_t>(*dgram.payload));
   if (!parsed) {
     ++counters_.parse_errors;
     return;
   }
-  auto msg = std::move(parsed).value();
-  if (msg.header.qr) {
+  const dnswire::MessageView& view = parsed.value();
+  if (view.header.qr) {
     ++counters_.responses_in;
   } else {
     ++counters_.queries_in;
   }
-  on_message(dgram, std::move(msg));
+  if (on_message_view(dgram, view)) return;
+  on_message(dgram, dnswire::materialize(view));
 }
 
 void DnsNode::send_message(util::Ipv4 dst, std::uint16_t src_port,
                            std::uint16_t dst_port, const dnswire::Message& msg,
                            std::optional<util::Ipv4> src_override) {
+  // The arena encoder is byte-identical to dnswire::encode(msg)
+  // (tests/dnswire_differential_test.cpp); view_of borrows the
+  // Message's own label storage, so nothing is copied on the way in.
+  tx_arena_.reset();
+  send_encoded(dst, src_port, dst_port, dnswire::view_of(tx_arena_, msg),
+               src_override);
+}
+
+void DnsNode::send_view(util::Ipv4 dst, std::uint16_t src_port,
+                        std::uint16_t dst_port, const dnswire::MessageView& msg,
+                        std::optional<util::Ipv4> src_override) {
+  tx_arena_.reset();
+  send_encoded(dst, src_port, dst_port, msg, src_override);
+}
+
+void DnsNode::send_encoded(util::Ipv4 dst, std::uint16_t src_port,
+                           std::uint16_t dst_port,
+                           const dnswire::MessageView& msg,
+                           std::optional<util::Ipv4> src_override) {
   netsim::SendOptions opts;
   opts.dst = dst;
   opts.src_port = src_port;
   opts.dst_port = dst_port;
-  opts.payload = dnswire::encode(msg);
+  const auto wire = dnswire::encode_into(tx_arena_, msg);
+  opts.payload.assign(wire.begin(), wire.end());
   opts.spoof_src = src_override;
   if (msg.header.qr) {
     ++counters_.responses_out;
@@ -44,6 +68,15 @@ void DnsNode::reply(const netsim::Datagram& dgram, const dnswire::Message& msg,
                /*dst_port=*/dgram.src_port, msg,
                src_override.has_value() ? src_override
                                         : std::optional<util::Ipv4>(dgram.dst));
+}
+
+void DnsNode::reply_view(const netsim::Datagram& dgram,
+                         const dnswire::MessageView& msg,
+                         std::optional<util::Ipv4> src_override) {
+  send_view(dgram.src, /*src_port=*/dgram.dst_port,
+            /*dst_port=*/dgram.src_port, msg,
+            src_override.has_value() ? src_override
+                                     : std::optional<util::Ipv4>(dgram.dst));
 }
 
 }  // namespace odns::nodes

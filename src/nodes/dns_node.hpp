@@ -1,10 +1,19 @@
 #pragma once
 // Shared base for DNS speakers living on simulated hosts: datagram
 // parsing, reply plumbing, per-node counters.
+//
+// The receive path runs on the arena codec (dnswire/arena_codec.hpp):
+// each datagram is decoded into `rx_arena_` as a MessageView, offered
+// to the subclass through on_message_view() (the zero-allocation fast
+// path), and only materialized into a heap Message when the subclass
+// declines. Replies encode through `tx_arena_`; both arenas are reset
+// per message, so after warm-up neither touches the heap.
 
 #include <cstdint>
 #include <optional>
 
+#include "dnswire/arena.hpp"
+#include "dnswire/arena_codec.hpp"
 #include "dnswire/codec.hpp"
 #include "dnswire/message.hpp"
 #include "netsim/sim.hpp"
@@ -39,7 +48,19 @@ class DnsNode : public netsim::App {
   void on_datagram(const netsim::Datagram& dgram) final;
 
  protected:
-  /// Dispatch target; `msg` is the successfully parsed payload.
+  /// Fast-path dispatch: `msg` views the datagram payload + rx arena
+  /// and dies when this call returns. Return true to consume the
+  /// message; false falls back to on_message() with a materialized
+  /// heap copy. Default: always fall back.
+  virtual bool on_message_view(const netsim::Datagram& dgram,
+                               const dnswire::MessageView& msg) {
+    (void)dgram;
+    (void)msg;
+    return false;
+  }
+
+  /// Heap-model dispatch target; `msg` is the successfully parsed
+  /// payload, owned by the callee.
   virtual void on_message(const netsim::Datagram& dgram,
                           dnswire::Message msg) = 0;
 
@@ -51,15 +72,37 @@ class DnsNode : public netsim::App {
                     std::uint16_t dst_port, const dnswire::Message& msg,
                     std::optional<util::Ipv4> src_override = std::nullopt);
 
+  /// View-level send: encodes through the tx arena, bytes identical to
+  /// send_message() on the materialized view. `msg` must not be built
+  /// on the tx arena (it is reset here); use scratch_arena().
+  void send_view(util::Ipv4 dst, std::uint16_t src_port,
+                 std::uint16_t dst_port, const dnswire::MessageView& msg,
+                 std::optional<util::Ipv4> src_override = std::nullopt);
+
   /// Replies to the datagram's source (swapped ports).
   void reply(const netsim::Datagram& dgram, const dnswire::Message& msg,
              std::optional<util::Ipv4> src_override = std::nullopt);
+  void reply_view(const netsim::Datagram& dgram,
+                  const dnswire::MessageView& msg,
+                  std::optional<util::Ipv4> src_override = std::nullopt);
+
+  /// Scratch arena for building reply views inside on_message_view
+  /// (reset at every datagram entry, after the rx view is dead — do
+  /// not hold rx-backed views across messages).
+  dnswire::WireArena& scratch_arena() { return scratch_arena_; }
 
   NodeCounters counters_;
 
  private:
+  void send_encoded(util::Ipv4 dst, std::uint16_t src_port,
+                    std::uint16_t dst_port, const dnswire::MessageView& msg,
+                    std::optional<util::Ipv4> src_override);
+
   netsim::Simulator* sim_;
   netsim::HostId host_;
+  dnswire::WireArena rx_arena_;       // decode_into target, reset per datagram
+  dnswire::WireArena tx_arena_;       // encode_into target, reset per send
+  dnswire::WireArena scratch_arena_;  // reply-view construction
 };
 
 }  // namespace odns::nodes

@@ -8,11 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "dnswire/arena.hpp"
+#include "dnswire/arena_codec.hpp"
 #include "dnswire/codec.hpp"
 #include "dnswire/message.hpp"
 #include "util/rng.hpp"
@@ -24,6 +27,28 @@ using dnswire::Message;
 using dnswire::Name;
 using dnswire::ResourceRecord;
 using dnswire::RrType;
+
+/// Verdict parity: on every input — valid, truncated, corrupted, or
+/// garbage — the arena decoder must accept exactly what the heap
+/// decoder accepts and return the identical DecodeError otherwise.
+void expect_same_verdict(std::span<const std::uint8_t> wire) {
+  dnswire::WireArena arena;
+  auto heap = dnswire::decode(wire);
+  auto view = dnswire::decode_into(arena, wire);
+  ASSERT_EQ(heap.ok(), view.ok()) << "verdicts diverge on " << wire.size()
+                                  << "-byte input";
+  if (!heap.ok()) {
+    EXPECT_EQ(heap.error(), view.error());
+    return;
+  }
+  // Accepted inputs must also re-encode identically through both.
+  dnswire::WireArena tx;
+  const auto arena_wire = dnswire::encode_into(tx, view.value());
+  const auto heap_wire = dnswire::encode(heap.value());
+  ASSERT_EQ(arena_wire.size(), heap_wire.size());
+  EXPECT_TRUE(
+      std::equal(arena_wire.begin(), arena_wire.end(), heap_wire.begin()));
+}
 
 Name random_name(util::Rng& rng) {
   static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
@@ -129,6 +154,7 @@ TEST(DnswireFuzz, RandomMessagesRoundTripByteExactly) {
     // ...and byte identity through a second encode: decode loses
     // nothing the encoder can see.
     EXPECT_EQ(dnswire::encode(decoded.value()), wire) << "iteration " << iter;
+    expect_same_verdict(wire);
   }
 }
 
@@ -137,10 +163,9 @@ TEST(DnswireFuzz, EveryTruncatedPrefixDecodesWithoutCrashing) {
   for (int iter = 0; iter < 50; ++iter) {
     const auto wire = dnswire::encode(random_message(rng));
     for (std::size_t len = 0; len < wire.size(); ++len) {
-      // Must return (value or error), never crash or overread.
-      auto result = dnswire::decode(
-          std::span<const std::uint8_t>(wire.data(), len));
-      (void)result;
+      // Must return (value or error), never crash or overread — and
+      // both decoders must agree on which.
+      expect_same_verdict(std::span<const std::uint8_t>(wire.data(), len));
     }
   }
 }
@@ -156,9 +181,9 @@ TEST(DnswireFuzz, RandomCorruptionDecodesWithoutCrashing) {
           static_cast<std::uint8_t>(rng.uniform(0, 255));
     }
     auto result = dnswire::decode(wire);
-    (void)result;
     // Whatever still decodes must re-encode without crashing either.
     if (result) (void)dnswire::encode(result.value());
+    expect_same_verdict(wire);
   }
 }
 
@@ -169,8 +194,7 @@ TEST(DnswireFuzz, PureGarbageBuffersDecodeWithoutCrashing) {
     for (auto& b : junk) {
       b = static_cast<std::uint8_t>(rng.uniform(0, 255));
     }
-    auto result = dnswire::decode(junk);
-    (void)result;
+    expect_same_verdict(junk);
   }
 }
 

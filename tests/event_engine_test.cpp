@@ -228,6 +228,10 @@ ScenarioResult run_scenario(bool typed_events) {
   SimConfig cfg;
   cfg.seed = 99;
   cfg.loss_rate = 0.02;  // exercises the RNG-coupled drop path
+  // Engine A/B only: the legacy closure engine is scalar-only, so both
+  // runs compare under scalar delivery. Batch-vs-scalar equivalence
+  // (canonical trace digests) is tests/batch_plane_test.cpp's job.
+  cfg.batch_delivery = false;
   Simulator sim(cfg);
   sim.set_typed_events_enabled(typed_events);
   auto& net = sim.net();

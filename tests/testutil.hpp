@@ -4,6 +4,8 @@
 // resolver, and a SAV-free access network — small enough that tests
 // can reason about exact hop counts and addresses.
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "nodes/auth_server.hpp"
@@ -31,6 +33,38 @@ inline constexpr Ipv4 kAuthAddr{198, 51, 100, 53};
 inline constexpr Ipv4 kControlAddr{198, 51, 100, 200};
 inline constexpr Ipv4 kResolverAddr{8, 8, 8, 8};
 inline constexpr Ipv4 kScannerAddr{192, 0, 2, 1};
+
+/// Heap-allocation audit hooks. The counters are inline and therefore
+/// present (but dormant) in every test binary; the global operator
+/// new/delete replacements that feed them are defined only in
+/// tests/alloc_audit_test.cpp, so every other suite runs on the stock
+/// allocator. AllocationScope reads the delta: zero inside a warmed
+/// arena serving loop is the bar (docs/architecture.md,
+/// "Zero-allocation wire path").
+namespace allocaudit {
+
+inline std::atomic<std::uint64_t> allocations{0};
+inline std::atomic<std::uint64_t> deallocations{0};
+
+class AllocationScope {
+ public:
+  AllocationScope()
+      : start_allocs_(allocations.load(std::memory_order_relaxed)),
+        start_frees_(deallocations.load(std::memory_order_relaxed)) {}
+
+  [[nodiscard]] std::uint64_t allocations_in_scope() const {
+    return allocations.load(std::memory_order_relaxed) - start_allocs_;
+  }
+  [[nodiscard]] std::uint64_t deallocations_in_scope() const {
+    return deallocations.load(std::memory_order_relaxed) - start_frees_;
+  }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_frees_;
+};
+
+}  // namespace allocaudit
 
 /// A five-AS world: tier1 in the middle, infra (root/TLD/auth),
 /// a public resolver, an access network without SAV, and the scanner.
