@@ -45,12 +45,24 @@
 // throughput of the sharded run is recorded alongside. Determinism is
 // checked with the canonical (shard-count-invariant) trace digest.
 //
+// Million-host census (docs/architecture.md "Internet-scale worlds &
+// streaming correlation"):
+//
+//  * million_host_census — the full core::run_census pipeline over the
+//    bulk-population topology at --census-scale (default: ≥10⁶ hosts,
+//    ≥10⁴ ASes) with streaming correlation, once on 1 shard and once
+//    on 8; reports hosts-simulated-per-second, the peak RSS of the
+//    run (VmHWM), and the streaming window high-water mark, and
+//    requires the classify::census_fingerprint of both executions to
+//    be identical.
+//
 // usage: bench_netsim [--packets=N] [--ases=N] [--hops=N] [--dests=N]
 //                     [--seed=N] [--shards=N] [--json=FILE]
-//                     [--min-speedup=F]
+//                     [--min-speedup=F] [--census-scale=F]
 //
 // Exits 1 on a determinism violation, 2 when any workload's speedup
-// falls below --min-speedup (CI's loud perf-regression gate).
+// falls below --min-speedup (CI's loud perf-regression gate), 3 when
+// the full-scale census world misses its ≥10⁶-host / ≥10⁴-AS floors.
 
 #include <algorithm>
 #include <chrono>
@@ -64,6 +76,8 @@
 #include <string>
 #include <vector>
 
+#include "classify/analysis.hpp"
+#include "core/census.hpp"
 #include "dnswire/arena.hpp"
 #include "dnswire/arena_codec.hpp"
 #include "dnswire/codec.hpp"
@@ -95,6 +109,11 @@ struct Opts {
   std::uint32_t shards = 4;
   std::string json_path;
   double min_speedup = 0.0;
+  /// Topology scale of the million_host_census row. The default builds
+  /// the full ≥10⁶-host / ≥10⁴-AS world (the recorded BENCH row); CI
+  /// smoke caps it (e.g. 0.047 ≈ 10⁵ hosts) to stay inside the job
+  /// budget — the world-size floors are only enforced at full scale.
+  double census_scale = 0.5;
 
   static Opts parse(int argc, char** argv) {
     Opts o;
@@ -122,10 +141,12 @@ struct Opts {
         o.json_path = val("--json=");
       } else if (arg.rfind("--min-speedup=", 0) == 0) {
         o.min_speedup = std::atof(val("--min-speedup="));
+      } else if (arg.rfind("--census-scale=", 0) == 0) {
+        o.census_scale = std::atof(val("--census-scale="));
       } else {
         std::cout << "usage: bench_netsim [--packets=N] [--ases=N] "
                      "[--hops=N] [--dests=N] [--seed=N] [--shards=N] "
-                     "[--json=FILE] [--min-speedup=F]\n";
+                     "[--json=FILE] [--min-speedup=F] [--census-scale=F]\n";
         std::exit(arg == "--help" ? 0 : 64);
       }
     }
@@ -645,6 +666,17 @@ struct WorkloadReport {
   double scanner_busy_share_single = 0.0;
   double scanner_busy_share_multi = 0.0;
   bool scanner_is_max_busy_multi = false;
+  // million_host_census row only: the world size, the memory
+  // high-water marks (process VmHWM and the streaming correlator's
+  // pending window), and the census-table hash both executions must
+  // share. The pps fields of this row count *hosts simulated* per
+  // second, not packets.
+  bool has_census_stats = false;
+  std::uint64_t census_hosts = 0;
+  std::uint64_t census_ases = 0;
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t peak_pending_probes = 0;
+  std::uint64_t census_hash = 0;
 };
 
 /// Shared A/B scaffolding: times both modes (no tap in the hot loop,
@@ -1276,12 +1308,143 @@ WorkloadReport bench_codec_workload(const Opts& opts) {
                      });
 }
 
+// --- million-host census row ----------------------------------------
+
+/// Resets the kernel's peak-RSS watermark (Linux: "5" into
+/// /proc/self/clear_refs) so the VmHWM read after a census run
+/// reflects that run, not whichever earlier workload was hungriest.
+/// Best-effort: where the write is refused, VmHWM stays a process-wide
+/// upper bound.
+void reset_peak_rss() { std::ofstream("/proc/self/clear_refs") << "5\n"; }
+
+/// Peak resident set (VmHWM) in kB from /proc/self/status; 0 when the
+/// file is unavailable (non-Linux).
+std::uint64_t read_peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+/// Shard count of the census A/B's sharded side (the acceptance point:
+/// 1-shard and 8-shard census tables must hash identically).
+constexpr std::uint32_t kCensusShards = 8;
+
+struct CensusRun {
+  double seconds = 0.0;
+  double critical_seconds = 0.0;
+  std::uint64_t hosts = 0;
+  std::uint64_t ases = 0;
+  std::uint64_t census_hash = 0;
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t peak_pending = 0;
+  std::uint64_t mailbox_in = 0;
+  std::uint64_t mailbox_overflows = 0;
+  netsim::SimCounters counters;
+};
+
+/// One full census over the Internet-scale world: bulk population
+/// (nodes::ForwarderBank rows instead of per-host heap nodes), the
+/// eyeball AS layer widened to O(10⁴) ASes, per-shard capture
+/// vantages, streaming correlation, and no per-probe log retention —
+/// the million-host configuration of docs/architecture.md. Runs the
+/// sequential scheduler in both modes so the sharded critical path
+/// (max per-shard busy seconds) is unpolluted by time-slicing.
+CensusRun run_million_census(const Opts& opts, std::uint32_t shards) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = opts.census_scale;
+  cfg.topology.seed = opts.seed;
+  cfg.topology.sim.seed = opts.seed;
+  cfg.topology.bulk_population = true;
+  cfg.topology.eyeball_as_multiplier = 4.0;
+  cfg.topology.sim.shard_threads = false;
+  cfg.sim_shards = shards;
+  cfg.shard_interleaved_targets = true;
+  cfg.vantages = shards;
+  cfg.streaming_correlation = true;
+  cfg.retain_transactions = false;
+  cfg.scan_timeout = util::Duration::seconds(2);
+  cfg.probes_per_second = 100000;
+  cfg.correlate_flush = util::Duration::millis(250);
+
+  reset_peak_rss();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = core::run_census(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CensusRun r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.hosts = result.world->ground_truth().size();
+  r.ases = result.world->asn_country_.size();
+  r.census_hash = classify::census_fingerprint(result.census);
+  r.peak_rss_kb = read_peak_rss_kb();
+  r.peak_pending = result.stream_stats.peak_pending_probes;
+  r.counters = result.world->sim().counters();
+  if (shards > 1) {
+    for (std::uint32_t s = 0; s < result.world->sim().shard_count(); ++s) {
+      const auto& stats = result.world->sim().shard_stats(s);
+      r.critical_seconds = std::max(r.critical_seconds, stats.busy_seconds);
+      r.mailbox_in += stats.mailbox_in;
+      r.mailbox_overflows += stats.mailbox_overflows;
+    }
+  } else {
+    r.critical_seconds = r.seconds;
+  }
+  return r;
+}
+
+/// The million_host_census row: the same Internet-scale census once on
+/// 1 shard and once on kCensusShards, single pass each (the world is
+/// ≥10⁶ hosts; best-of-N repeats would triple a minutes-long row for
+/// noise rejection the size of the run already provides). Identity is
+/// the product-level check — the classify::census_fingerprint of the
+/// full Census tables plus the summed packet counters. At full
+/// --census-scale the world must clear ≥10⁶ hosts and ≥10⁴ ASes.
+WorkloadReport bench_million_host_workload(const Opts& opts) {
+  WorkloadReport rep;
+  rep.name = "million_host_census";
+  rep.baseline_label = "one_shard";
+  rep.fast_label = "sharded_critical_path";
+  rep.has_shard_stats = true;
+  rep.has_census_stats = true;
+  rep.shards = kCensusShards;
+  const CensusRun baseline = run_million_census(opts, 1);
+  const CensusRun fast = run_million_census(opts, kCensusShards);
+  rep.baseline_pps = static_cast<double>(baseline.hosts) / baseline.seconds;
+  rep.fast_pps = static_cast<double>(fast.hosts) / fast.critical_seconds;
+  rep.speedup = rep.fast_pps / rep.baseline_pps;
+  rep.sharded_wall_pps = static_cast<double>(fast.hosts) / fast.seconds;
+  rep.mailbox_in = fast.mailbox_in;
+  rep.mailbox_overflows = fast.mailbox_overflows;
+  rep.census_hosts = fast.hosts;
+  rep.census_ases = fast.ases;
+  rep.peak_rss_kb = std::max(baseline.peak_rss_kb, fast.peak_rss_kb);
+  rep.peak_pending_probes = std::max(baseline.peak_pending, fast.peak_pending);
+  rep.census_hash = fast.census_hash;
+  rep.identical = baseline.census_hash == fast.census_hash &&
+                  baseline.hosts == fast.hosts &&
+                  counters_equal(baseline.counters, fast.counters);
+  if (opts.census_scale >= 0.5 &&
+      (rep.census_hosts < 1000000 || rep.census_ases < 10000)) {
+    std::cerr << "FAIL: million_host_census world too small at full scale: "
+              << rep.census_hosts << " hosts, " << rep.census_ases
+              << " ASes (need >= 1000000 / >= 10000)\n";
+    std::exit(3);
+  }
+  return rep;
+}
+
 void print_report(const WorkloadReport& r) {
+  const char* unit = r.has_census_stats ? " hosts/s" : " pkts/s";
   std::cout << r.name << "\n"
             << "  " << r.baseline_label << ": "
-            << static_cast<std::uint64_t>(r.baseline_pps) << " pkts/s\n"
+            << static_cast<std::uint64_t>(r.baseline_pps) << unit << "\n"
             << "  " << r.fast_label << ":   "
-            << static_cast<std::uint64_t>(r.fast_pps) << " pkts/s\n"
+            << static_cast<std::uint64_t>(r.fast_pps) << unit << "\n"
             << "  speedup:  " << r.speedup << "x\n";
   if (r.has_cache_stats) {
     std::cout << "  cache:    " << r.cache_hits << " hits / "
@@ -1289,9 +1452,16 @@ void print_report(const WorkloadReport& r) {
   }
   if (r.has_shard_stats && !r.has_vantage_stats) {
     std::cout << "  shards:   " << r.shards << " (wall "
-              << static_cast<std::uint64_t>(r.sharded_wall_pps)
-              << " pkts/s, mailbox " << r.mailbox_in << " msgs, "
+              << static_cast<std::uint64_t>(r.sharded_wall_pps) << unit
+              << ", mailbox " << r.mailbox_in << " msgs, "
               << r.mailbox_overflows << " spills)\n";
+  }
+  if (r.has_census_stats) {
+    std::cout << "  world:    " << r.census_hosts << " hosts / "
+              << r.census_ases << " ASes\n"
+              << "  memory:   peak RSS " << r.peak_rss_kb / 1024
+              << " MB, streaming window " << r.peak_pending_probes
+              << " pending probes\n";
   }
   if (r.has_vantage_stats) {
     std::cout << "  shards:   " << r.shards << " / vantages " << r.vantages
@@ -1315,6 +1485,7 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
       << ", \"ases\": " << opts.ases << ", \"internal_hops\": " << opts.hops
       << ", \"dests\": " << opts.dests << ", \"seed\": " << opts.seed
       << ", \"shards\": " << opts.shards
+      << ", \"census_scale\": " << opts.census_scale
       << ", \"cores\": " << std::thread::hardware_concurrency() << "},\n"
       << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < reps.size(); ++i) {
@@ -1333,6 +1504,14 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
           << static_cast<std::uint64_t>(r.sharded_wall_pps)
           << ", \"mailbox_msgs\": " << r.mailbox_in
           << ", \"mailbox_spills\": " << r.mailbox_overflows;
+    }
+    if (r.has_census_stats) {
+      out << ", \"unit\": \"hosts_per_second\", \"hosts\": " << r.census_hosts
+          << ", \"ases\": " << r.census_ases
+          << ", \"peak_rss_kb\": " << r.peak_rss_kb
+          << ", \"peak_pending_probes\": " << r.peak_pending_probes
+          << ", \"census_hash\": \"" << std::hex << r.census_hash << std::dec
+          << "\"";
     }
     if (r.has_vantage_stats) {
       out << ", \"shards\": " << r.shards << ", \"vantages\": " << r.vantages
@@ -1373,6 +1552,7 @@ int main(int argc, char** argv) {
   reps.push_back(bench_amplification_workload(opts));
   reps.push_back(bench_codec_workload(opts));
   reps.push_back(bench_batch_workload(opts));
+  reps.push_back(bench_million_host_workload(opts));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);

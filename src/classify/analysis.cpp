@@ -1,6 +1,7 @@
 #include "classify/analysis.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "topo/model.hpp"
 
@@ -91,81 +92,158 @@ double Census::tf_fraction_with_density_at_least(std::uint32_t limit) const {
   return static_cast<double>(covered) / static_cast<double>(tf);
 }
 
-Census analyze(const std::vector<Classified>& classified,
-               const registry::RegistrySnapshot& registry) {
-  Census census;
-  std::unordered_map<std::string, std::unordered_map<netsim::Asn, bool>>
-      country_tf_ases;
+void CensusAccumulator::add(const Classified& item) {
+  const auto& registry = *registry_;
+  Census& census = census_;
+  const auto& txn = item.txn;
+  ++consumed_;
+  switch (item.klass) {
+    case Klass::unresponsive: ++census.unresponsive; break;
+    case Klass::invalid: ++census.invalid; break;
+    case Klass::recursive_resolver: ++census.rr; break;
+    case Klass::recursive_forwarder: ++census.rf; break;
+    case Klass::transparent_forwarder: ++census.tf; break;
+  }
 
-  for (const auto& item : classified) {
-    const auto& txn = item.txn;
-    switch (item.klass) {
-      case Klass::unresponsive: ++census.unresponsive; break;
-      case Klass::invalid: ++census.invalid; break;
-      case Klass::recursive_resolver: ++census.rr; break;
-      case Klass::recursive_forwarder: ++census.rf; break;
-      case Klass::transparent_forwarder: ++census.tf; break;
-    }
+  const auto target_asn = registry.routeviews.origin_of(txn.target);
+  const auto country =
+      target_asn ? registry.whois.country_of(*target_asn) : std::nullopt;
 
-    const auto target_asn = registry.routeviews.origin_of(txn.target);
-    const auto country =
-        target_asn ? registry.whois.country_of(*target_asn) : std::nullopt;
+  if (item.klass == Klass::unresponsive || item.klass == Klass::invalid) {
+    // Only viable ODNS components enter the per-country composition;
+    // invalid responders are tracked globally.
+    return;
+  }
+  if (!country) {
+    ++census.unmapped_country;
+    return;
+  }
+  auto& report = census.by_country[*country];
+  report.code = *country;
 
-    if (item.klass == Klass::unresponsive || item.klass == Klass::invalid) {
-      // Only viable ODNS components enter the per-country composition;
-      // invalid responders are tracked globally.
-      continue;
-    }
-    if (!country) {
-      ++census.unmapped_country;
-      continue;
-    }
-    auto& report = census.by_country[*country];
-    report.code = *country;
+  switch (item.klass) {
+    case Klass::recursive_resolver: ++report.rr; break;
+    case Klass::recursive_forwarder: ++report.rf; break;
+    case Klass::transparent_forwarder: {
+      ++report.tf;
+      if (target_asn) {
+        ++census.tf_by_asn[*target_asn];
+        country_tf_ases_[*country][*target_asn] = true;
+      }
+      ++census.tf_per_24[util::Prefix::covering24(txn.target).base().value()];
+      ++census.tf_responses_by_source[txn.response_src];
 
-    switch (item.klass) {
-      case Klass::recursive_resolver: ++report.rr; break;
-      case Klass::recursive_forwarder: ++report.rf; break;
-      case Klass::transparent_forwarder: {
-        ++report.tf;
-        if (target_asn) {
-          ++census.tf_by_asn[*target_asn];
-          country_tf_ases[*country][*target_asn] = true;
+      const auto project = project_of_service_addr(txn.response_src)
+                               .value_or(topo::ResolverProject::other);
+      ++report.tf_by_project[project_index(project)];
+      if (project == topo::ResolverProject::other) {
+        if (const auto resp_asn =
+                registry.routeviews.origin_of(txn.response_src)) {
+          ++report.other_response_asns[*resp_asn];
         }
-        ++census.tf_per_24[util::Prefix::covering24(txn.target).base().value()];
-        ++census.tf_responses_by_source[txn.response_src];
-
-        const auto project = project_of_service_addr(txn.response_src)
-                                 .value_or(topo::ResolverProject::other);
-        ++report.tf_by_project[project_index(project)];
-        if (project == topo::ResolverProject::other) {
-          if (const auto resp_asn =
-                  registry.routeviews.origin_of(txn.response_src)) {
-            ++report.other_response_asns[*resp_asn];
-          }
-          // Indirect consolidation: the forwarder answered via a local
-          // resolver, but that resolver itself forwarded to a big-4
-          // project — visible in the A_resolver record's origin AS.
-          if (const auto mirror = item.resolver_mirror()) {
-            if (const auto mirror_asn =
-                    registry.routeviews.origin_of(*mirror)) {
-              ++report.other_mapped;
-              if (registry.project_of_asn(*mirror_asn).has_value()) {
-                ++report.other_indirect;
-              }
+        // Indirect consolidation: the forwarder answered via a local
+        // resolver, but that resolver itself forwarded to a big-4
+        // project — visible in the A_resolver record's origin AS.
+        if (const auto mirror = item.resolver_mirror()) {
+          if (const auto mirror_asn =
+                  registry.routeviews.origin_of(*mirror)) {
+            ++report.other_mapped;
+            if (registry.project_of_asn(*mirror_asn).has_value()) {
+              ++report.other_indirect;
             }
           }
         }
-        break;
       }
-      default: break;
+      break;
+    }
+    default: break;
+  }
+}
+
+Census CensusAccumulator::finish() {
+  for (auto& [code, report] : census_.by_country) {
+    report.ases_with_tf = country_tf_ases_[code].size();
+  }
+  country_tf_ases_.clear();
+  return std::move(census_);
+}
+
+Census analyze(const std::vector<Classified>& classified,
+               const registry::RegistrySnapshot& registry) {
+  CensusAccumulator acc(registry);
+  for (const auto& item : classified) acc.add(item);
+  return acc.finish();
+}
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t state = 14695981039346656037ULL;
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      state ^= (value >> (i * 8)) & 0xff;
+      state *= 1099511628211ULL;
     }
   }
-
-  for (auto& [code, report] : census.by_country) {
-    report.ases_with_tf = country_tf_ases[code].size();
+  void mix_str(const std::string& s) {
+    mix(s.size());
+    for (unsigned char c : s) {
+      state ^= c;
+      state *= 1099511628211ULL;
+    }
   }
-  return census;
+};
+
+template <typename Map>
+void mix_sorted(Fnv1a& h, const Map& map) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+  rows.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    std::uint64_t k;
+    if constexpr (std::is_same_v<std::decay_t<decltype(key)>, util::Ipv4>) {
+      k = key.value();
+    } else {
+      k = static_cast<std::uint64_t>(key);
+    }
+    rows.emplace_back(k, static_cast<std::uint64_t>(value));
+  }
+  std::sort(rows.begin(), rows.end());
+  h.mix(rows.size());
+  for (const auto& [k, v] : rows) {
+    h.mix(k);
+    h.mix(v);
+  }
+}
+
+}  // namespace
+
+std::uint64_t census_fingerprint(const Census& census) {
+  Fnv1a h;
+  h.mix(census.rr);
+  h.mix(census.rf);
+  h.mix(census.tf);
+  h.mix(census.invalid);
+  h.mix(census.unresponsive);
+  h.mix(census.unmapped_country);
+  // by_country is an ordered map — deterministic iteration for free.
+  h.mix(census.by_country.size());
+  for (const auto& [code, report] : census.by_country) {
+    h.mix_str(code);
+    h.mix(report.rr);
+    h.mix(report.rf);
+    h.mix(report.tf);
+    h.mix(report.invalid);
+    h.mix(report.unresponsive);
+    for (auto count : report.tf_by_project) h.mix(count);
+    h.mix(report.other_indirect);
+    h.mix(report.other_mapped);
+    mix_sorted(h, report.other_response_asns);
+    h.mix(report.ases_with_tf);
+  }
+  mix_sorted(h, census.tf_by_asn);
+  mix_sorted(h, census.tf_per_24);
+  mix_sorted(h, census.tf_responses_by_source);
+  return h.state;
 }
 
 namespace {

@@ -86,9 +86,43 @@ struct Census {
       std::uint32_t limit) const;
 };
 
+/// Incremental Census construction for streaming correlation: each
+/// finalized transaction is classified and folded into the tables as
+/// it arrives (no buffered Classified vector required), and finish()
+/// seals the cross-item aggregates (distinct TF ASes per country).
+/// Feeding the same items in any order yields the same Census as
+/// analyze() — every table update is commutative — so the streaming
+/// census is byte-identical to the buffered one.
+class CensusAccumulator {
+ public:
+  explicit CensusAccumulator(const registry::RegistrySnapshot& registry)
+      : registry_(&registry) {}
+
+  /// Folds one classified transaction into the census tables.
+  void add(const Classified& item);
+  /// Seals cross-item aggregates and returns the finished census.
+  /// The accumulator is spent afterwards.
+  [[nodiscard]] Census finish();
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  const registry::RegistrySnapshot* registry_;
+  Census census_;
+  std::unordered_map<std::string, std::unordered_map<netsim::Asn, bool>>
+      country_tf_ases_;
+  std::uint64_t consumed_ = 0;
+};
+
 /// Runs all registry joins and aggregations over classified scans.
 [[nodiscard]] Census analyze(const std::vector<Classified>& classified,
                              const registry::RegistrySnapshot& registry);
+
+/// Order-independent structural digest of every census table (scalars,
+/// per-country composition including the project/consolidation
+/// columns, TF-by-AS, /24 density, response fan-out) — the scale
+/// harness's byte-identity oracle across shard counts, thread modes,
+/// and streaming-vs-buffered execution.
+[[nodiscard]] std::uint64_t census_fingerprint(const Census& census);
 
 /// Per-vantage composition of a multi-vantage scan: what each capture
 /// host observed, by class — the multi-campaign comparison surface

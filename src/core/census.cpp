@@ -15,9 +15,22 @@ CensusResult run_census(const CensusConfig& cfg) {
   if (cfg.weighted_partition && sim.shard_count() > 1) {
     // Balance the AS partition by expected event load: the dominant
     // per-shard cost of a census is serving + capturing its probe
-    // targets, so probe-target counts per virtual shard are the hint.
+    // targets. With serving-cost weights a forwarder target counts
+    // double — it relays the probe upstream, so its virtual shard
+    // executes the relay leg on top of the delivery leg — which is
+    // what actually evens out forwarder-heavy shards.
     std::vector<std::uint64_t> weights(netsim::Simulator::kVirtualShards, 0);
-    for (const auto target : targets) ++weights[sim.virtual_shard_of(target)];
+    if (cfg.serving_cost_weights) {
+      for (const auto& gt : result.world->ground_truth()) {
+        const std::uint64_t cost =
+            gt.kind == topo::OdnsKind::recursive_resolver ? 1 : 2;
+        weights[sim.virtual_shard_of(gt.addr)] += cost;
+      }
+    } else {
+      for (const auto target : targets) {
+        ++weights[sim.virtual_shard_of(target)];
+      }
+    }
     sim.set_partition_load_hints(std::move(weights));
   }
 
@@ -26,12 +39,41 @@ CensusResult run_census(const CensusConfig& cfg) {
   sc.timeout = cfg.scan_timeout;
   sc.probes_per_second = cfg.probes_per_second;
   sc.shard_interleave = cfg.shard_interleaved_targets;
+
+  classify::ClassifyConfig cc;
+  cc.control_addr = result.world->control_addr();
+  cc.strict_two_records = cfg.strict_validation;
+
   if (cfg.vantages > 0) {
     auto members =
         honeypot::attach_capture_vantages(*result.world, cfg.vantages);
     result.vantage_set = std::make_unique<scan::VantageSet>(
         sim, sc, result.world->scanner_addr(), std::move(members));
     result.vantage_set->start(targets);
+    if (cfg.streaming_correlation) {
+      // Streaming path: each transaction is classified and folded into
+      // the census tables the moment its timeout window closes; the
+      // per-probe logs are only kept on request.
+      classify::CensusAccumulator acc(result.registry);
+      if (cfg.retain_transactions) {
+        result.transactions.reserve(targets.size());
+        result.classified.reserve(targets.size());
+      }
+      result.stream_stats = result.vantage_set->run_and_correlate_streaming(
+          cfg.correlate_flush,
+          [&](std::size_t, scan::Transaction&& txn) {
+            classify::Classified item;
+            item.klass = classify::classify_one(txn, cc);
+            item.txn = std::move(txn);
+            acc.add(item);
+            if (cfg.retain_transactions) {
+              result.transactions.push_back(item.txn);
+              result.classified.push_back(std::move(item));
+            }
+          });
+      result.census = acc.finish();
+      return result;
+    }
     result.vantage_set->run_to_completion();
     result.transactions = result.vantage_set->correlate();
   } else {
@@ -42,11 +84,14 @@ CensusResult run_census(const CensusConfig& cfg) {
     result.transactions = result.scanner->correlate();
   }
 
-  classify::ClassifyConfig cc;
-  cc.control_addr = result.world->control_addr();
-  cc.strict_two_records = cfg.strict_validation;
   result.classified = classify::classify_all(result.transactions, cc);
   result.census = classify::analyze(result.classified, result.registry);
+  if (!cfg.retain_transactions) {
+    result.transactions.clear();
+    result.transactions.shrink_to_fit();
+    result.classified.clear();
+    result.classified.shrink_to_fit();
+  }
   return result;
 }
 

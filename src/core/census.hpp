@@ -55,6 +55,28 @@ struct CensusConfig {
   /// netsim::Simulator::set_partition_load_hints). Execution-only; on
   /// by default for sharded runs.
   bool weighted_partition = true;
+  /// Weight each probe target by its serving cost instead of counting
+  /// every target once: a forwarder relays the probe upstream (and a
+  /// transparent forwarder additionally triggers the off-path public
+  /// response), so forwarder-heavy virtual shards execute roughly twice
+  /// the events per target of resolver-only ones. Execution-only —
+  /// results are byte-identical either way; the lever only moves the
+  /// LPT placement (see the partition section of the scale test).
+  bool serving_cost_weights = true;
+  /// Streaming (windowed) correlation: requires vantages > 0. Instead
+  /// of buffering the whole capture and correlating once, the census
+  /// runs the simulator in correlate_flush windows, finalizes each
+  /// probe as its timeout window closes, classifies it immediately,
+  /// and folds it into the Census tables incrementally
+  /// (classify::CensusAccumulator). Census, stats, counters, and
+  /// traces are byte-identical to the buffered run; steady-state
+  /// memory is bounded by the in-flight window, not the run length.
+  bool streaming_correlation = false;
+  util::Duration correlate_flush = util::Duration::seconds(1);
+  /// Keep the per-probe transactions/classified vectors in the result.
+  /// Million-host runs turn this off: the Census tables are the
+  /// product, and the O(targets) logs are the last per-probe state.
+  bool retain_transactions = true;
 };
 
 /// Host offset inside a campaign's vantage prefix (the address the
@@ -69,9 +91,12 @@ struct CensusResult {
   std::unique_ptr<scan::TransactionalScanner> scanner;
   /// Multi-vantage capture set (null for the classic census).
   std::unique_ptr<scan::VantageSet> vantage_set;
+  /// Per-probe logs (empty when retain_transactions is off).
   std::vector<scan::Transaction> transactions;
   std::vector<classify::Classified> classified;
   classify::Census census;
+  /// Memory high-water marks of the streaming run (zero otherwise).
+  scan::VantageSet::StreamStats stream_stats;
 };
 
 /// Full pipeline: topology → scan → correlate → classify → analyze.

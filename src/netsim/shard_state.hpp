@@ -73,6 +73,7 @@ struct Simulator::Shard final : private PacketSink {
   RouteMemo route_memo;
   util::Rng rng;
   std::uint64_t trace_seq = 0;
+  std::uint64_t trace_dropped = 0;
   std::vector<TraceRecord> trace;
   ShardStats stats;
   std::vector<SpscMailbox> inbox;  // indexed by source shard

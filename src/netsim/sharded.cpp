@@ -161,6 +161,12 @@ const std::vector<TraceRecord>& Simulator::shard_trace(
   return shards_[shard]->trace;
 }
 
+std::uint64_t Simulator::trace_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->trace_dropped;
+  return total;
+}
+
 util::SimTime Simulator::next_event_time() const {
   util::SimTime next = util::SimTime::far_future();
   for (const auto& sh : shards_) {

@@ -157,11 +157,30 @@ Simulator::HostState& Simulator::state(HostId id) {
 
 void Simulator::bind_udp(HostId host, std::uint16_t port, App* app) {
   assert(app != nullptr);
-  state(host).sockets[port] = app;
+  HostState& st = state(host);
+  if (st.extra) {
+    if (auto it = st.extra->sockets.find(port);
+        it != st.extra->sockets.end()) {
+      it->second = app;
+      return;
+    }
+  }
+  if (st.app0 == nullptr || st.app0_port == port) {
+    st.app0 = app;
+    st.app0_port = port;
+    return;
+  }
+  st.ensure_extra().sockets[port] = app;
 }
 
 void Simulator::unbind_udp(HostId host, std::uint16_t port) {
-  state(host).sockets.erase(port);
+  HostState& st = state(host);
+  if (st.app0 != nullptr && st.app0_port == port) {
+    st.app0 = nullptr;
+    st.app0_port = 0;
+    return;
+  }
+  if (st.extra) st.extra->sockets.erase(port);
 }
 
 void Simulator::bind_udp_wildcard(HostId host, App* app) {
@@ -169,29 +188,57 @@ void Simulator::bind_udp_wildcard(HostId host, App* app) {
 }
 
 void Simulator::set_icmp_handler(HostId host, IcmpHandler handler) {
-  state(host).icmp = std::move(handler);
+  state(host).ensure_extra().icmp = std::move(handler);
 }
 
 void Simulator::add_port_redirect(HostId host, std::uint16_t dst_port,
                                   util::Ipv4 target) {
-  state(host).redirects[dst_port] = Redirect{target, 0};
+  HostState& st = state(host);
+  if (st.extra) {
+    if (auto it = st.extra->redirects.find(dst_port);
+        it != st.extra->redirects.end()) {
+      it->second = Redirect{target, 0};
+      return;
+    }
+  }
+  if (!st.has_redirect || st.redirect_port == dst_port) {
+    st.has_redirect = true;
+    st.redirect_port = dst_port;
+    st.redirect_target = target;
+    st.redirect_relays = 0;
+    return;
+  }
+  st.ensure_extra().redirects[dst_port] = Redirect{target, 0};
 }
 
 void Simulator::remove_port_redirect(HostId host, std::uint16_t dst_port) {
-  state(host).redirects.erase(dst_port);
+  HostState& st = state(host);
+  if (st.has_redirect && st.redirect_port == dst_port) {
+    st.has_redirect = false;
+    st.redirect_port = 0;
+    st.redirect_relays = 0;
+    return;
+  }
+  if (st.extra) st.extra->redirects.erase(dst_port);
 }
 
 std::uint64_t Simulator::redirect_relays(HostId host) const {
   if (host >= host_state_.size()) return 0;
-  std::uint64_t total = 0;
-  for (const auto& [port, rule] : host_state_[host].redirects) {
-    total += rule.relays;
+  const HostState& st = host_state_[host];
+  std::uint64_t total = st.has_redirect ? st.redirect_relays : 0;
+  if (st.extra) {
+    for (const auto& [port, rule] : st.extra->redirects) total += rule.relays;
   }
   return total;
 }
 
 void Simulator::emit(Shard& sh, TapEvent ev, const Packet& pkt) {
   if (trace_enabled_) {
+    if (sh.trace.size() >= trace_limit_) {
+      ++sh.trace_dropped;
+      for (const auto& tap : taps_) tap(ev, pkt);
+      return;
+    }
     TraceRecord r;
     r.at = sh.events.now().nanos();
     r.shard = sh.index;
@@ -438,7 +485,7 @@ void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
   const Host& h = net_.host(host);
 
   if (pkt.proto == Protocol::icmp) {
-    if (st != nullptr && st->icmp) st->icmp(pkt);
+    if (st != nullptr && st->extra && st->extra->icmp) st->extra->icmp(pkt);
     return;
   }
 
@@ -447,8 +494,19 @@ void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
   // paper measures) and the TTL continues to decrement, which is what
   // makes DNSRoute++ able to see through the device.
   if (st != nullptr) {
-    auto rule = st->redirects.find(pkt.dst_port);
-    if (rule != st->redirects.end()) {
+    util::Ipv4* relay_target = nullptr;
+    std::uint64_t* relay_count = nullptr;
+    if (st->has_redirect && st->redirect_port == pkt.dst_port) {
+      relay_target = &st->redirect_target;
+      relay_count = &st->redirect_relays;
+    } else if (st->extra) {
+      if (auto rule = st->extra->redirects.find(pkt.dst_port);
+          rule != st->extra->redirects.end()) {
+        relay_target = &rule->second.target;
+        relay_count = &rule->second.relays;
+      }
+    }
+    if (relay_target != nullptr) {
       if (pkt.ttl - 1 <= 0) {
         // The device's IP stack answers (from the address the probe
         // was sent to); forwarding stops. This is the behaviour
@@ -456,12 +514,12 @@ void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
         send_icmp(sh, IcmpType::ttl_exceeded, pkt.dst, pkt, h.asn);
         return;
       }
-      ++rule->second.relays;
+      ++*relay_count;
       ++sh.counters.redirected;
       emit(sh, TapEvent::redirected, pkt);
       Packet relayed = std::move(pkt);
       relayed.ttl -= 1;
-      relayed.dst = rule->second.target;
+      relayed.dst = *relay_target;
       // The relay is host-originated traffic: if this AS enforced SAV
       // the spoofed relay would be dropped, so deployed transparent
       // forwarders only exist behind SAV-free networks.
@@ -472,12 +530,8 @@ void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {
 
   App* app = nullptr;
   if (st != nullptr) {
-    auto sock = st->sockets.find(pkt.dst_port);
-    if (sock != st->sockets.end()) {
-      app = sock->second;
-    } else if (st->wildcard != nullptr) {
-      app = st->wildcard;
-    }
+    app = st->find_socket(pkt.dst_port);
+    if (app == nullptr) app = st->wildcard;
   }
   if (app == nullptr) {
     send_icmp(sh, IcmpType::port_unreachable, pkt.dst, pkt, h.asn);
@@ -498,9 +552,8 @@ App* Simulator::batchable_app(const Packet& pkt, HostId host) {
   if (pkt.proto != Protocol::udp) return nullptr;
   HostState* st = find_state(host);
   if (st == nullptr) return nullptr;
-  if (st->redirects.find(pkt.dst_port) != st->redirects.end()) return nullptr;
-  auto sock = st->sockets.find(pkt.dst_port);
-  if (sock != st->sockets.end()) return sock->second;
+  if (st->has_redirect_on(pkt.dst_port)) return nullptr;
+  if (App* app = st->find_socket(pkt.dst_port)) return app;
   return st->wildcard;  // nullptr falls back to scalar (port unreachable)
 }
 

@@ -312,6 +312,15 @@ class Simulator {
   // --- built-in packet trace ----------------------------------------
   void set_packet_trace_enabled(bool on) { trace_enabled_ = on; }
   [[nodiscard]] bool packet_trace_enabled() const { return trace_enabled_; }
+  /// Bounds each shard's trace buffer: records past the cap are counted
+  /// (trace_dropped) instead of stored, so tracing a million-host run
+  /// cannot grow memory with run length. 0 restores "unbounded". The
+  /// cap truncates observation only — packet decisions are unaffected.
+  void set_packet_trace_limit(std::size_t per_shard_cap) {
+    trace_limit_ = per_shard_cap == 0 ? SIZE_MAX : per_shard_cap;
+  }
+  /// Records suppressed by the per-shard cap, summed over shards.
+  [[nodiscard]] std::uint64_t trace_dropped() const;
   [[nodiscard]] const std::vector<TraceRecord>& shard_trace(
       std::uint32_t shard) const;
   /// All shards' records merged in the documented (time, shard, seq)
@@ -336,11 +345,47 @@ class Simulator {
     util::Ipv4 target;
     std::uint64_t relays = 0;
   };
-  struct HostState {
+  /// Overflow state for the rare hosts that need more than the inline
+  /// slots below: multi-port bindings, multiple redirects, or an ICMP
+  /// handler (scanners, vantage members, DNSRoute++ probes). At
+  /// Internet-census scale ~all of a million hosts are one-socket or
+  /// one-redirect devices, so the common case stays heap-free.
+  struct HostExtra {
     std::unordered_map<std::uint16_t, App*> sockets;
-    App* wildcard = nullptr;
-    IcmpHandler icmp;
     std::unordered_map<std::uint16_t, Redirect> redirects;
+    IcmpHandler icmp;
+  };
+  /// Per-host packet-plane state, compact by design: one inline socket
+  /// slot, one inline redirect slot, a wildcard pointer, and a lazily
+  /// allocated HostExtra for everything else. 48 bytes per host instead
+  /// of two hash maps plus a std::function — the dense host_state_
+  /// table stays cache-friendly at 10⁶ hosts.
+  struct HostState {
+    App* app0 = nullptr;  // inline single-port binding
+    App* wildcard = nullptr;
+    std::unique_ptr<HostExtra> extra;
+    util::Ipv4 redirect_target;
+    std::uint64_t redirect_relays = 0;
+    std::uint16_t app0_port = 0;
+    std::uint16_t redirect_port = 0;
+    bool has_redirect = false;
+
+    HostExtra& ensure_extra() {
+      if (!extra) extra = std::make_unique<HostExtra>();
+      return *extra;
+    }
+    [[nodiscard]] App* find_socket(std::uint16_t port) const {
+      if (app0 != nullptr && app0_port == port) return app0;
+      if (extra) {
+        auto it = extra->sockets.find(port);
+        if (it != extra->sockets.end()) return it->second;
+      }
+      return nullptr;
+    }
+    [[nodiscard]] bool has_redirect_on(std::uint16_t port) const {
+      if (has_redirect && redirect_port == port) return true;
+      return extra && extra->redirects.find(port) != extra->redirects.end();
+    }
   };
 
   /// Grows the dense host-state table on demand and returns the slot.
@@ -422,6 +467,7 @@ class Simulator {
   std::vector<LossBurst> loss_burst_;
   std::vector<Tap> taps_;
   bool trace_enabled_ = false;
+  std::size_t trace_limit_ = SIZE_MAX;  // per shard
   // Partition maps, valid while partition_epoch_ == net_.topology_epoch().
   std::vector<std::uint32_t> host_shard_;
   std::vector<std::uint32_t> as_shard_;  // by AS index

@@ -1,0 +1,160 @@
+#include "nodes/forwarder_bank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "dnswire/codec.hpp"
+#include "nodes/dns_node.hpp"
+
+namespace odns::nodes {
+
+using dnswire::ARecord;
+using dnswire::Message;
+using dnswire::Rcode;
+
+namespace {
+constexpr std::uint8_t kRewrite = 1;
+constexpr std::uint8_t kStrip = 2;
+constexpr std::uint16_t kPortBase = 32768;
+constexpr std::uint32_t kPortSpan = 32768;
+}  // namespace
+
+ForwarderBank::ForwarderBank(netsim::Simulator& sim,
+                             util::Duration upstream_timeout)
+    : sim_(&sim), upstream_timeout_(upstream_timeout) {}
+
+void ForwarderBank::add_member(netsim::HostId host, const MemberConfig& mc) {
+  assert(!sealed_);
+  addr_.push_back(mc.addr);
+  upstream_.push_back(mc.upstream);
+  rewrite_target_.push_back(mc.rewrite_target);
+  host_.push_back(host);
+  seq_.push_back(0);
+  flags_.push_back(static_cast<std::uint8_t>(
+      (mc.rewrite_answers ? kRewrite : 0) |
+      (mc.strip_second_record ? kStrip : 0)));
+  sim_->bind_udp(host, kDnsPort, this);
+  sim_->bind_udp_wildcard(host, this);
+}
+
+void ForwarderBank::seal() {
+  by_addr_.resize(addr_.size());
+  for (std::uint32_t i = 0; i < by_addr_.size(); ++i) by_addr_[i] = i;
+  std::sort(by_addr_.begin(), by_addr_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return addr_[a].value() < addr_[b].value();
+            });
+  sealed_ = true;
+}
+
+std::size_t ForwarderBank::member_of(util::Ipv4 addr) const {
+  auto it = std::lower_bound(by_addr_.begin(), by_addr_.end(), addr.value(),
+                             [this](std::uint32_t i, std::uint32_t value) {
+                               return addr_[i].value() < value;
+                             });
+  if (it == by_addr_.end() || addr_[*it].value() != addr.value()) {
+    return addr_.size();
+  }
+  return *it;
+}
+
+void ForwarderBank::on_datagram(const netsim::Datagram& dgram) {
+  assert(sealed_);
+  const auto parsed =
+      dnswire::decode(std::span<const std::uint8_t>(*dgram.payload));
+  if (!parsed) return;
+  const Message& msg = parsed.value();
+  if (dgram.dst_port == kDnsPort && !msg.header.qr) {
+    const std::size_t member = member_of(dgram.dst);
+    if (member == addr_.size()) return;  // not a member address
+    handle_query(dgram, member, msg);
+  } else if (dgram.dst_port != kDnsPort && msg.header.qr) {
+    handle_response(dgram, msg);
+  }
+}
+
+void ForwarderBank::handle_query(const netsim::Datagram& dgram,
+                                 std::size_t member, const Message& msg) {
+  ++stats_.client_queries;
+  if (msg.questions.size() != 1) return;  // banks don't answer formerr
+  const auto& q = msg.questions.front();
+
+  // Index-derived upstream tuple: member m's queries always use ports
+  // kPortBase + (m*256+seq) % 32768 and txids 1 + (m*256+seq) / 32768,
+  // so the wire bytes depend only on the member's own query sequence.
+  const std::uint32_t g = tuple_of(static_cast<std::uint32_t>(member),
+                                   seq_[member]);
+  seq_[member] = static_cast<std::uint8_t>(seq_[member] + 1);
+  const auto port = static_cast<std::uint16_t>(kPortBase + g % kPortSpan);
+  const auto txid = static_cast<std::uint16_t>(1 + (g / kPortSpan) % 65535);
+
+  if (pending_.size() >= sweep_at_) sweep_expired();
+  Pending& p = pending_[g];
+  p.client = dgram.src;
+  p.client_port = dgram.src_port;
+  p.client_txid = msg.header.id;
+  p.member = static_cast<std::uint32_t>(member);
+  p.deadline = sim_->now() + upstream_timeout_;
+  peak_pending_ = std::max(peak_pending_, pending_.size());
+  ++stats_.forwarded;
+
+  netsim::SendOptions opts;
+  opts.dst = upstream_[member];
+  opts.src_port = port;
+  opts.dst_port = kDnsPort;
+  opts.payload = dnswire::encode(dnswire::make_query(txid, q.name, q.type));
+  sim_->send_udp(host_[member], std::move(opts));
+}
+
+void ForwarderBank::handle_response(const netsim::Datagram& dgram,
+                                    const Message& msg) {
+  // Invert the tuple derivation to recover the pending key directly.
+  if (dgram.dst_port < kPortBase || msg.header.id == 0) return;
+  const std::uint32_t g =
+      static_cast<std::uint32_t>(msg.header.id - 1) * kPortSpan +
+      (dgram.dst_port - kPortBase);
+  auto it = pending_.find(g);
+  if (it == pending_.end()) return;
+  const Pending p = it->second;
+  pending_.erase(it);
+  ++stats_.upstream_responses;
+  if (sim_->now() > p.deadline) {
+    ++stats_.expired;
+    return;
+  }
+
+  Message resp = msg;
+  resp.header.id = p.client_txid;
+  const std::uint8_t flags = flags_[p.member];
+  if ((flags & kRewrite) != 0) {
+    for (auto& rr : resp.answers) {
+      if (std::get_if<ARecord>(&rr.rdata) != nullptr) {
+        rr.rdata = ARecord{rewrite_target_[p.member]};
+      }
+    }
+  }
+  if ((flags & kStrip) != 0 && resp.answers.size() > 1) {
+    resp.answers.resize(1);
+  }
+  netsim::SendOptions opts;
+  opts.dst = p.client;
+  opts.src_port = kDnsPort;
+  opts.dst_port = p.client_port;
+  opts.payload = dnswire::encode(resp);
+  sim_->send_udp(host_[p.member], std::move(opts));
+}
+
+void ForwarderBank::sweep_expired() {
+  const util::SimTime now = sim_->now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now > it->second.deadline) {
+      ++stats_.expired;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sweep_at_ = std::max<std::size_t>(64, pending_.size() * 2);
+}
+
+}  // namespace odns::nodes

@@ -1,0 +1,111 @@
+#pragma once
+// Streaming (windowed) correlation: the scale half of §4.1. The
+// classic merge-correlator (correlate.hpp) buffers every captured
+// datagram for the whole run and joins once at the end — the first
+// thing that breaks at 10⁶ targets is exactly that accumulate-
+// everything buffer. The StreamingCorrelator consumes the capture log
+// in watermark order and finalizes a probe's transaction as soon as
+// its timeout window has provably closed, so steady-state memory is
+// bounded by the in-flight window (timeout × probe rate), not by the
+// run length.
+//
+// Equivalence contract: fed the same records in the same merged
+// (time, vantage, seq) order, the streamed transactions — values,
+// probe order, and the unmatched/late/duplicate statistics — are
+// byte-identical to correlate_capture() over the full buffer
+// (tests/scale_census_test.cpp, the streaming-vs-buffered
+// differential).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/types.hpp"
+
+namespace odns::scan {
+
+class StreamingCorrelator {
+ public:
+  /// Receives each finalized transaction, in probe-index order — the
+  /// same order correlate_capture() returns. The index is the probe's
+  /// position in the global probe table.
+  using Sink = std::function<void(std::size_t probe_index, Transaction&&)>;
+
+  /// `probes` must outlive the correlator and stay unchanged during
+  /// streaming. Correlation statistics (unmatched/late/duplicate)
+  /// accumulate into `stats`, mirroring correlate_capture().
+  StreamingCorrelator(const std::vector<SentProbe>& probes,
+                      util::Duration timeout, ScannerStats& stats);
+
+  /// Feeds one captured record. Records must arrive in the merged
+  /// (time, vantage, seq) order, and only up to the watermark of the
+  /// next advance() call.
+  void consume(RawResponse&& rec);
+
+  /// Finalizes every probe whose timeout window closed at or before
+  /// `watermark`: all records at <= watermark have been consumed, so
+  /// any future record for such a probe is provably late. Emits the
+  /// finalized transactions to `sink` in probe order.
+  void advance(util::SimTime watermark, const Sink& sink);
+
+  /// Flushes all remaining probes (end of capture).
+  void finish(const Sink& sink);
+
+  /// Probes finalized so far.
+  [[nodiscard]] std::size_t emitted() const { return base_; }
+  /// Current in-flight window size (pending transaction slots).
+  [[nodiscard]] std::size_t pending() const { return window_.size(); }
+  /// High-water mark of the in-flight window — the memory-audit
+  /// surface: bounded by timeout × probe rate, not by the run length.
+  [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
+  /// True while tuple lookup runs arithmetically against the
+  /// TupleSequencer pattern (no per-probe hash map). False only for
+  /// plans that do not follow the sequencer, which fall back to the
+  /// classic map.
+  [[nodiscard]] bool dense_lookup() const { return arithmetic_; }
+
+ private:
+  /// Pending per-probe state, live only while the probe's timeout
+  /// window is open.
+  struct PendingTxn {
+    util::Ipv4 response_src;
+    util::SimTime responded_at;
+    std::vector<util::Ipv4> answer_addrs;
+    dnswire::Rcode rcode = dnswire::Rcode::noerror;
+    std::uint32_t vantage = 0;
+    bool answered = false;
+  };
+
+  static constexpr std::size_t kNoProbe = SIZE_MAX;
+
+  [[nodiscard]] std::size_t probe_index_of(std::uint16_t port,
+                                           std::uint16_t txid) const;
+  void emit_front(const Sink& sink);
+
+  const std::vector<SentProbe>* probes_;
+  util::Duration timeout_;
+  ScannerStats* stats_;
+
+  // Arithmetic tuple inverse: probe i carries port base_port_ + (i %
+  // plane_), and the TupleSequencer bumps the txid while *emitting*
+  // the last port of a plane, so txid is 1 + (i + 1) / plane_ once the
+  // port space has wrapped (wrapped_) and constant 1 before. Either
+  // way (port, txid) -> index is a multiply-add, verified against the
+  // probe table — no million-entry hash map on the default path.
+  bool arithmetic_ = false;
+  bool wrapped_ = false;
+  std::uint16_t base_port_ = 0;
+  std::size_t plane_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> fallback_;  // non-plan runs
+
+  /// Sliding window of pending transactions for probes
+  /// [base_, base_ + window_.size()); probes past the window's end are
+  /// sent-but-unmatched and cost nothing until a response arrives.
+  std::deque<PendingTxn> window_;
+  std::size_t base_ = 0;  // next probe index to finalize
+  std::size_t peak_pending_ = 0;
+};
+
+}  // namespace odns::scan

@@ -5,6 +5,7 @@
 
 #include "dnswire/codec.hpp"
 #include "scan/correlate.hpp"
+#include "scan/stream.hpp"
 
 namespace odns::scan {
 
@@ -51,6 +52,11 @@ class CaptureVantage final : public netsim::App, public netsim::TimerTarget {
 
   [[nodiscard]] netsim::HostId host() const { return host_; }
   [[nodiscard]] const std::vector<RawResponse>& capture() const {
+    return capture_;
+  }
+  /// Streaming flush access: the window merge consumes a time-ordered
+  /// prefix and compacts it between simulator windows.
+  [[nodiscard]] std::vector<RawResponse>& mutable_capture() {
     return capture_;
   }
   [[nodiscard]] const ScannerStats& stats() const { return stats_; }
@@ -143,6 +149,74 @@ std::vector<Transaction> VantageSet::correlate() {
     if (!out[i].answered) out[i].vantage = sender_[i];
   }
   return out;
+}
+
+void VantageSet::flush_capture(util::SimTime cutoff, StreamingCorrelator& corr,
+                               StreamStats& st) {
+  const std::size_t k = members_.size();
+  // Windowed k-way merge: the concatenation of per-window merges equals
+  // the full (time, vantage, seq) merge, because every record in one
+  // flush precedes every record of the next (cutoffs are nondecreasing
+  // and the buffers are time-ordered).
+  std::vector<std::size_t> pos(k, 0);
+  while (true) {
+    std::size_t best = k;
+    std::int64_t best_at = 0;
+    for (std::size_t v = 0; v < k; ++v) {
+      const auto& buf = members_[v]->capture();
+      if (pos[v] >= buf.size()) continue;
+      const std::int64_t at = buf[pos[v]].at.nanos();
+      if (at > cutoff.nanos()) continue;  // time-ordered: buffer done
+      if (best == k || at < best_at) {
+        best = v;
+        best_at = at;
+      }
+    }
+    if (best == k) break;
+    corr.consume(std::move(members_[best]->mutable_capture()[pos[best]]));
+    ++pos[best];
+  }
+  for (std::size_t v = 0; v < k; ++v) {
+    auto& buf = members_[v]->mutable_capture();
+    st.peak_buffered_records = std::max(st.peak_buffered_records, buf.size());
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(pos[v]));
+  }
+}
+
+VantageSet::StreamStats VantageSet::run_and_correlate_streaming(
+    util::Duration flush_interval, const TxnSink& sink) {
+  assert(flush_interval > util::Duration::nanos(0));
+  StreamingCorrelator corr(probes_, cfg_.timeout, correlate_stats_);
+  StreamStats st;
+  st.dense_lookup = corr.dense_lookup();
+  const TxnSink wrapped = [&](std::size_t i, Transaction&& txn) {
+    // Same attribution rule as correlate(): unanswered probes belong
+    // to the vantage that paced them.
+    if (!txn.answered) txn.vantage = sender_[i];
+    sink(i, std::move(txn));
+  };
+  // Same event set and order as run_to_completion(), partitioned into
+  // flush windows: all traffic up to the post-timeout horizon, then a
+  // final drain for stragglers (which are late by construction).
+  const util::SimTime horizon =
+      last_send_at_ + cfg_.timeout + cfg_.drain_settle;
+  util::SimTime cursor = sim_->now();
+  while (cursor < horizon) {
+    cursor = std::min(cursor + flush_interval, horizon);
+    sim_->run_until(cursor);
+    flush_capture(cursor, corr, st);
+    corr.advance(cursor, wrapped);
+    st.peak_pending_probes =
+        std::max(st.peak_pending_probes, corr.pending());
+    ++st.flushes;
+  }
+  sim_->run();
+  flush_capture(util::SimTime::far_future(), corr, st);
+  corr.finish(wrapped);
+  st.peak_pending_probes =
+      std::max(st.peak_pending_probes, corr.peak_pending());
+  return st;
 }
 
 }  // namespace odns::scan

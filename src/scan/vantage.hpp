@@ -33,6 +33,7 @@
 namespace odns::scan {
 
 class CaptureVantage;
+class StreamingCorrelator;
 
 class VantageSet {
  public:
@@ -63,6 +64,32 @@ class VantageSet {
   /// probes are attributed to the vantage that sent them.
   [[nodiscard]] std::vector<Transaction> correlate();
 
+  /// Receives each finalized transaction during streaming correlation,
+  /// in probe order (see StreamingCorrelator::Sink).
+  using TxnSink = std::function<void(std::size_t, Transaction&&)>;
+
+  /// Memory-bound evidence of one streaming run: high-water marks of
+  /// the correlator window and the per-member capture buffers — both
+  /// bounded by the flush interval and the timeout window, never by
+  /// the run length (the scale test's audit surface).
+  struct StreamStats {
+    std::size_t flushes = 0;
+    std::size_t peak_pending_probes = 0;
+    std::size_t peak_buffered_records = 0;
+    bool dense_lookup = false;
+  };
+
+  /// Streaming replacement for run_to_completion() + correlate(): runs
+  /// the simulator in `flush_interval` windows and, at each window
+  /// barrier, drains the members' capture prefixes (records at or
+  /// before the watermark) into a StreamingCorrelator, emitting
+  /// finalized transactions to `sink` as their timeout windows close.
+  /// Executes the identical event order as the buffered protocol —
+  /// transactions, statistics, counters, and traces are byte-identical
+  /// — while holding only the in-flight window in memory.
+  StreamStats run_and_correlate_streaming(util::Duration flush_interval,
+                                          const TxnSink& sink);
+
   /// Global probe table, in plan order (invariant across shard and
   /// vantage counts).
   [[nodiscard]] const std::vector<SentProbe>& probes() const {
@@ -81,6 +108,12 @@ class VantageSet {
 
  private:
   friend class CaptureVantage;
+
+  /// Merges and consumes every member-capture record at or before
+  /// `cutoff` (a time-ordered prefix of each buffer), then compacts
+  /// the consumed prefixes.
+  void flush_capture(util::SimTime cutoff, StreamingCorrelator& corr,
+                     StreamStats& st);
 
   netsim::Simulator* sim_;
   ScanConfig cfg_;

@@ -410,13 +410,17 @@ void build_country_backbone(BuildState& st, Deployment& d,
 
 /// Eyeball access networks, Zipf-weighted by rank.
 void build_eyeballs(BuildState& st, Deployment& d, CountryContext& ctx,
-                    double scale) {
+                    const TopologyConfig& cfg) {
   auto& net = st.sim->net();
   const auto& p = *ctx.profile;
+  const double scale = cfg.scale;
   // Sub-linear AS scaling: host counts shrink with `scale` but the AS
-  // structure shrinks slower, preserving per-AS population shapes.
+  // structure shrinks slower, preserving per-AS population shapes. The
+  // multiplier widens the AS layer independently of the host count
+  // (Internet-scale worlds want O(10^4) ASes).
   const int as_count = std::max(
-      1, static_cast<int>(std::lround(p.as_count * std::pow(scale, 0.4))));
+      1, static_cast<int>(std::lround(p.as_count * std::pow(scale, 0.4) *
+                                      cfg.eyeball_as_multiplier)));
   for (int i = 0; i < as_count; ++i) {
     // 4-byte ASNs dominate recent eyeball deployments in emerging
     // markets (§6: 65 of the top-100 TF ASes are 32-bit).
@@ -554,7 +558,7 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
     CountryContext ctx;
     ctx.profile = &profile;
     build_country_backbone(st, *d, ctx);
-    build_eyeballs(st, *d, ctx, cfg.scale);
+    build_eyeballs(st, *d, ctx, cfg);
 
     const std::uint64_t total = scaled(profile.odns_total, cfg.scale);
     std::uint64_t tf_count =
@@ -669,10 +673,28 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
           fc.strip_second_record = true;
         }
       }
-      auto fwd =
-          std::make_unique<nodes::RecursiveForwarder>(*st.sim, host, fc);
-      fwd->start();
-      d->forwarders_.push_back(std::move(fwd));
+      if (d->cfg_.bulk_population) {
+        // Bulk plane: the forwarder becomes a row in its virtual
+        // shard's bank (shard-safe for every shard count, since a
+        // virtual shard never splits across execution shards).
+        if (d->forwarder_banks_.empty()) {
+          d->forwarder_banks_.resize(netsim::Simulator::kVirtualShards);
+        }
+        auto& bank = d->forwarder_banks_[st.sim->virtual_shard_of(addr)];
+        if (!bank) bank = std::make_unique<nodes::ForwarderBank>(*st.sim);
+        nodes::ForwarderBank::MemberConfig mc;
+        mc.addr = addr;
+        mc.upstream = fc.upstream;
+        mc.rewrite_target = fc.rewrite_target;
+        mc.rewrite_answers = fc.rewrite_answers;
+        mc.strip_second_record = fc.strip_second_record;
+        bank->add_member(host, mc);
+      } else {
+        auto fwd =
+            std::make_unique<nodes::RecursiveForwarder>(*st.sim, host, fc);
+        fwd->start();
+        d->forwarders_.push_back(std::move(fwd));
+      }
       GroundTruth gt;
       gt.addr = addr;
       gt.kind = OdnsKind::recursive_forwarder;
@@ -880,6 +902,10 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
       }
       placed += batch;
     }
+  }
+
+  for (auto& bank : d->forwarder_banks_) {
+    if (bank) bank->seal();
   }
 
   // IXP peering post-pass: each resolver project peers directly with a

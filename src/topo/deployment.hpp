@@ -18,6 +18,7 @@
 #include "netsim/sim.hpp"
 #include "nodes/auth_server.hpp"
 #include "nodes/forwarder.hpp"
+#include "nodes/forwarder_bank.hpp"
 #include "nodes/resolver.hpp"
 #include "topo/model.hpp"
 
@@ -42,6 +43,18 @@ struct TopologyConfig {
   std::size_t max_countries = 0;
   int tier1_count = 8;
   int hubs_per_region = 3;
+  /// Bulk population mode for million-host worlds: recursive
+  /// forwarders become dense rows of a per-virtual-shard
+  /// nodes::ForwarderBank instead of individual RecursiveForwarder
+  /// heap nodes. Observable census behaviour is unchanged (banks are
+  /// cacheless, but a census probes each forwarder exactly once);
+  /// worlds built with the flag ON and OFF are different deployments
+  /// and must not be byte-compared against each other.
+  bool bulk_population = false;
+  /// Multiplies the per-country eyeball AS count (after the sub-linear
+  /// scale exponent). Internet-scale worlds use it to push the AS
+  /// count to O(10^4) while `scale` controls the host population.
+  double eyeball_as_multiplier = 1.0;
 };
 
 class Deployment {
@@ -106,6 +119,9 @@ class Deployment {
   std::vector<std::unique_ptr<nodes::AuthServer>> auth_servers_;
   std::vector<std::unique_ptr<nodes::RecursiveResolver>> resolvers_;
   std::vector<std::unique_ptr<nodes::RecursiveForwarder>> forwarders_;
+  /// Bulk mode: one bank per virtual shard (index = virtual shard),
+  /// each serving that shard's recursive forwarders as dense rows.
+  std::vector<std::unique_ptr<nodes::ForwarderBank>> forwarder_banks_;
   std::vector<nodes::TransparentForwarder> transparent_;
 
   nodes::AuthServer* auth_server_ = nullptr;

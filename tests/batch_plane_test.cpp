@@ -183,7 +183,7 @@ TEST(BatchPlane, ToggleIsSafeBetweenRuns) {
             run_two_waves(/*toggle_off_second=*/false));
 }
 
-std::string census_fingerprint(const classify::Census& census) {
+std::string census_fingerprint_text(const classify::Census& census) {
   std::ostringstream out;
   out << census.rr << '/' << census.rf << '/' << census.tf << '/'
       << census.invalid << '/' << census.unresponsive << '/'
@@ -209,7 +209,7 @@ std::string census_with_batching(bool batch, std::uint32_t shards,
   cfg.sim_shards = shards;
   cfg.shard_interleaved_targets = true;
   const auto result = core::run_census(cfg);
-  std::string fp = census_fingerprint(result.census);
+  std::string fp = census_fingerprint_text(result.census);
   fp += render_transactions(result.transactions);
   return fp;
 }

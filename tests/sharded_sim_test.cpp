@@ -426,7 +426,7 @@ TEST(ShardedDeterminism, WeightedPartitionBalancesByLoadHints) {
   EXPECT_EQ(world.sim.shard_of(world.resolver_host), 1u);
 }
 
-std::string census_fingerprint(const classify::Census& census) {
+std::string census_fingerprint_text(const classify::Census& census) {
   std::ostringstream out;
   out << census.rr << '/' << census.rf << '/' << census.tf << '/'
       << census.invalid << '/' << census.unresponsive << '/'
@@ -452,7 +452,7 @@ TEST(ShardedCensus, FullPipelineMatchesSingleThreadedEngine) {
     cfg.sim_shards = shards;
     cfg.shard_interleaved_targets = true;
     const auto result = core::run_census(cfg);
-    return census_fingerprint(result.census);
+    return census_fingerprint_text(result.census);
   };
   const std::string reference = census_for(1);
   ASSERT_FALSE(reference.empty());
@@ -476,7 +476,7 @@ std::string census_for_property(std::uint32_t shards, std::uint32_t vantages,
   cfg.shard_interleaved_targets = interleave;
   cfg.vantages = vantages;
   const auto result = core::run_census(cfg);
-  std::string fp = census_fingerprint(result.census);
+  std::string fp = census_fingerprint_text(result.census);
   fp += render_transactions(result.transactions);
   return fp;
 }
