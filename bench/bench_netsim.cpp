@@ -56,6 +56,14 @@
 //    requires the classify::census_fingerprint of both executions to
 //    be identical.
 //
+//  * fault_plane_census — the same streaming census on a tenth of the
+//    world under an adverse network (5% loss + jitter, reordering,
+//    duplication, payload corruption) with scanner retransmission
+//    (2 retries), 1 shard vs. 8: the faulted census fingerprint and
+//    the full fault counters must be shard-count-invariant. Also
+//    records an ungated coverage sweep (loss 1%/5% × retries off/on)
+//    documenting graceful degradation and recovery.
+//
 // usage: bench_netsim [--packets=N] [--ases=N] [--hops=N] [--dests=N]
 //                     [--seed=N] [--shards=N] [--json=FILE]
 //                     [--min-speedup=F] [--census-scale=F]
@@ -677,6 +685,19 @@ struct WorkloadReport {
   std::uint64_t peak_rss_kb = 0;
   std::uint64_t peak_pending_probes = 0;
   std::uint64_t census_hash = 0;
+  // fault_plane_census row only: graceful-degradation accounting of
+  // the faulted A/B run, plus an ungated coverage sweep (loss rate ×
+  // retransmission) recorded for context, not gated on.
+  bool has_fault_stats = false;
+  double coverage = 0.0;
+  std::uint64_t probes_retried = 0;
+  std::uint64_t responses_duplicate = 0;
+  std::uint64_t responses_corrupt = 0;
+  std::uint64_t ases_degraded = 0;
+  double coverage_loss1_r0 = 0.0;
+  double coverage_loss1_r2 = 0.0;
+  double coverage_loss5_r0 = 0.0;
+  double coverage_loss5_r2 = 0.0;
 };
 
 /// Shared A/B scaffolding: times both modes (no tap in the hot loop,
@@ -1345,6 +1366,7 @@ struct CensusRun {
   std::uint64_t mailbox_in = 0;
   std::uint64_t mailbox_overflows = 0;
   netsim::SimCounters counters;
+  core::DegradationReport degradation;
 };
 
 /// One full census over the Internet-scale world: bulk population
@@ -1384,6 +1406,7 @@ CensusRun run_million_census(const Opts& opts, std::uint32_t shards) {
   r.peak_rss_kb = read_peak_rss_kb();
   r.peak_pending = result.stream_stats.peak_pending_probes;
   r.counters = result.world->sim().counters();
+  r.degradation = result.degradation;
   if (shards > 1) {
     for (std::uint32_t s = 0; s < result.world->sim().shard_count(); ++s) {
       const auto& stats = result.world->sim().shard_stats(s);
@@ -1438,6 +1461,120 @@ WorkloadReport bench_million_host_workload(const Opts& opts) {
   return rep;
 }
 
+/// One streaming census on an adverse network: packet loss plus the
+/// full fault plane (jitter, reordering, duplication, payload
+/// corruption) with scanner retransmission absorbing the damage. A
+/// tenth of the million-host world — the fault plane's per-packet
+/// decisions price every hop, so the row measures that overhead, not
+/// the world build.
+CensusRun run_faulted_census(const Opts& opts, std::uint32_t shards,
+                             double loss_rate, std::uint32_t retries) {
+  core::CensusConfig cfg;
+  cfg.topology.scale = opts.census_scale * 0.1;
+  cfg.topology.seed = opts.seed;
+  cfg.topology.sim.seed = opts.seed;
+  cfg.topology.bulk_population = true;
+  cfg.topology.eyeball_as_multiplier = 4.0;
+  cfg.topology.sim.shard_threads = false;
+  cfg.topology.sim.loss_rate = loss_rate;
+  cfg.topology.sim.faults.jitter_rate = 0.3;
+  cfg.topology.sim.faults.jitter_max = util::Duration::millis(5);
+  cfg.topology.sim.faults.reorder_rate = 0.15;
+  cfg.topology.sim.faults.dup_rate = 0.1;
+  cfg.topology.sim.faults.corrupt_rate = 0.05;
+  cfg.sim_shards = shards;
+  cfg.shard_interleaved_targets = true;
+  cfg.vantages = shards;
+  cfg.streaming_correlation = true;
+  cfg.retain_transactions = false;
+  cfg.scan_timeout = util::Duration::seconds(2);
+  cfg.scan_max_retries = retries;
+  cfg.scan_retry_backoff = util::Duration::millis(500);
+  cfg.probes_per_second = 100000;
+  cfg.correlate_flush = util::Duration::millis(250);
+
+  reset_peak_rss();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = core::run_census(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CensusRun r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.hosts = result.world->ground_truth().size();
+  r.ases = result.world->asn_country_.size();
+  r.census_hash = classify::census_fingerprint(result.census);
+  r.peak_rss_kb = read_peak_rss_kb();
+  r.peak_pending = result.stream_stats.peak_pending_probes;
+  r.counters = result.world->sim().counters();
+  r.degradation = result.degradation;
+  if (shards > 1) {
+    for (std::uint32_t s = 0; s < result.world->sim().shard_count(); ++s) {
+      const auto& stats = result.world->sim().shard_stats(s);
+      r.critical_seconds = std::max(r.critical_seconds, stats.busy_seconds);
+      r.mailbox_in += stats.mailbox_in;
+      r.mailbox_overflows += stats.mailbox_overflows;
+    }
+  } else {
+    r.critical_seconds = r.seconds;
+  }
+  return r;
+}
+
+/// The fault_plane_census row: the adverse-network census once on 1
+/// shard and once on kCensusShards. Identity is the faulted census
+/// fingerprint plus the full packet counters — fault fates included —
+/// which is the chaos-differential guarantee of
+/// tests/fault_plane_test.cpp at bench scale. The coverage sweep
+/// (loss × retransmission, 1 shard) is recorded ungated: it documents
+/// how far retries recover census coverage on a lossy network.
+WorkloadReport bench_fault_plane_workload(const Opts& opts) {
+  WorkloadReport rep;
+  rep.name = "fault_plane_census";
+  rep.baseline_label = "one_shard";
+  rep.fast_label = "sharded_critical_path";
+  rep.has_shard_stats = true;
+  rep.has_census_stats = true;
+  rep.has_fault_stats = true;
+  rep.shards = kCensusShards;
+  const CensusRun baseline =
+      run_faulted_census(opts, 1, /*loss_rate=*/0.05, /*retries=*/2);
+  const CensusRun fast =
+      run_faulted_census(opts, kCensusShards, /*loss_rate=*/0.05,
+                         /*retries=*/2);
+  rep.baseline_pps = static_cast<double>(baseline.hosts) / baseline.seconds;
+  rep.fast_pps = static_cast<double>(fast.hosts) / fast.critical_seconds;
+  rep.speedup = rep.fast_pps / rep.baseline_pps;
+  rep.sharded_wall_pps = static_cast<double>(fast.hosts) / fast.seconds;
+  rep.mailbox_in = fast.mailbox_in;
+  rep.mailbox_overflows = fast.mailbox_overflows;
+  rep.census_hosts = fast.hosts;
+  rep.census_ases = fast.ases;
+  rep.peak_rss_kb = std::max(baseline.peak_rss_kb, fast.peak_rss_kb);
+  rep.peak_pending_probes = std::max(baseline.peak_pending, fast.peak_pending);
+  rep.census_hash = fast.census_hash;
+  rep.coverage = fast.degradation.coverage();
+  rep.probes_retried = fast.degradation.scan.probes_retried;
+  rep.responses_duplicate = fast.degradation.scan.responses_duplicate;
+  rep.responses_corrupt = fast.degradation.scan.responses_corrupt;
+  rep.ases_degraded = fast.degradation.ases_degraded;
+  // SimCounters::operator== covers the fault counters (jittered,
+  // reordered, duplicated, corrupted, outage drops) the legacy
+  // counters_equal predates.
+  rep.identical = baseline.census_hash == fast.census_hash &&
+                  baseline.hosts == fast.hosts &&
+                  baseline.counters == fast.counters &&
+                  baseline.degradation.scan.probes_retried ==
+                      fast.degradation.scan.probes_retried;
+  rep.coverage_loss1_r0 =
+      run_faulted_census(opts, 1, 0.01, 0).degradation.coverage();
+  rep.coverage_loss1_r2 =
+      run_faulted_census(opts, 1, 0.01, 2).degradation.coverage();
+  rep.coverage_loss5_r0 =
+      run_faulted_census(opts, 1, 0.05, 0).degradation.coverage();
+  rep.coverage_loss5_r2 = fast.degradation.coverage();
+  return rep;
+}
+
 void print_report(const WorkloadReport& r) {
   const char* unit = r.has_census_stats ? " hosts/s" : " pkts/s";
   std::cout << r.name << "\n"
@@ -1462,6 +1599,16 @@ void print_report(const WorkloadReport& r) {
               << "  memory:   peak RSS " << r.peak_rss_kb / 1024
               << " MB, streaming window " << r.peak_pending_probes
               << " pending probes\n";
+  }
+  if (r.has_fault_stats) {
+    std::cout << "  faults:   coverage " << r.coverage * 100.0 << "% ("
+              << r.probes_retried << " retries, " << r.responses_duplicate
+              << " dup / " << r.responses_corrupt << " corrupt responses, "
+              << r.ases_degraded << " ASes degraded)\n"
+              << "  sweep:    loss 1% " << r.coverage_loss1_r0 * 100.0
+              << "% -> " << r.coverage_loss1_r2 * 100.0
+              << "% with retries; loss 5% " << r.coverage_loss5_r0 * 100.0
+              << "% -> " << r.coverage_loss5_r2 * 100.0 << "%\n";
   }
   if (r.has_vantage_stats) {
     std::cout << "  shards:   " << r.shards << " / vantages " << r.vantages
@@ -1513,6 +1660,17 @@ void write_json(const Opts& opts, const std::vector<WorkloadReport>& reps) {
           << ", \"census_hash\": \"" << std::hex << r.census_hash << std::dec
           << "\"";
     }
+    if (r.has_fault_stats) {
+      out << ", \"coverage\": " << r.coverage
+          << ", \"probes_retried\": " << r.probes_retried
+          << ", \"responses_duplicate\": " << r.responses_duplicate
+          << ", \"responses_corrupt\": " << r.responses_corrupt
+          << ", \"ases_degraded\": " << r.ases_degraded
+          << ", \"coverage_loss1_retries0\": " << r.coverage_loss1_r0
+          << ", \"coverage_loss1_retries2\": " << r.coverage_loss1_r2
+          << ", \"coverage_loss5_retries0\": " << r.coverage_loss5_r0
+          << ", \"coverage_loss5_retries2\": " << r.coverage_loss5_r2;
+    }
     if (r.has_vantage_stats) {
       out << ", \"shards\": " << r.shards << ", \"vantages\": " << r.vantages
           << ", \"multi_vantage_wall_pps\": "
@@ -1553,6 +1711,7 @@ int main(int argc, char** argv) {
   reps.push_back(bench_codec_workload(opts));
   reps.push_back(bench_batch_workload(opts));
   reps.push_back(bench_million_host_workload(opts));
+  reps.push_back(bench_fault_plane_workload(opts));
   for (const auto& r : reps) print_report(r);
 
   if (!opts.json_path.empty()) write_json(opts, reps);

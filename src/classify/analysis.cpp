@@ -109,6 +109,15 @@ void CensusAccumulator::add(const Classified& item) {
   const auto country =
       target_asn ? registry.whois.country_of(*target_asn) : std::nullopt;
 
+  // Coverage counts every probed target with a mapped origin AS —
+  // including unresponsive and invalid ones, which is the point: the
+  // probed/answered gap per AS is the degradation signal.
+  if (target_asn) {
+    auto& cov = census.coverage_by_asn[*target_asn];
+    ++cov.probed;
+    if (txn.answered) ++cov.answered;
+  }
+
   if (item.klass == Klass::unresponsive || item.klass == Klass::invalid) {
     // Only viable ODNS components enter the per-country composition;
     // invalid responders are tracked globally.
@@ -243,6 +252,12 @@ std::uint64_t census_fingerprint(const Census& census) {
   mix_sorted(h, census.tf_by_asn);
   mix_sorted(h, census.tf_per_24);
   mix_sorted(h, census.tf_responses_by_source);
+  h.mix(census.coverage_by_asn.size());
+  for (const auto& [asn, cov] : census.coverage_by_asn) {
+    h.mix(asn);
+    h.mix(cov.probed);
+    h.mix(cov.answered);
+  }
   return h.state;
 }
 

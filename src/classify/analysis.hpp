@@ -55,6 +55,16 @@ struct CountryReport {
   [[nodiscard]] std::optional<netsim::Asn> top_other_asn() const;
 };
 
+/// Per-AS census coverage: how many targets in the AS were probed and
+/// how many answered (any viable or invalid response). The graceful-
+/// degradation surface — under adverse-network faults the gap between
+/// the two is where the census silently loses hosts, and retries are
+/// measured by how much of it they close.
+struct AsCoverage {
+  std::uint64_t probed = 0;
+  std::uint64_t answered = 0;
+};
+
 struct Census {
   std::uint64_t rr = 0;
   std::uint64_t rf = 0;
@@ -63,6 +73,8 @@ struct Census {
   std::uint64_t unresponsive = 0;
   std::uint64_t unmapped_country = 0;
   std::map<std::string, CountryReport> by_country;
+  /// Probed/answered per origin AS of the target (degradation report).
+  std::map<netsim::Asn, AsCoverage> coverage_by_asn;
   std::unordered_map<netsim::Asn, std::uint64_t> tf_by_asn;
   /// Transparent forwarders per covering /24 (keyed by prefix base).
   std::unordered_map<std::uint32_t, std::uint32_t> tf_per_24;

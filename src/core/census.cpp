@@ -2,6 +2,32 @@
 
 namespace odns::core {
 
+namespace {
+
+/// Seals the degradation report once the census tables are final:
+/// population totals from the class counters, per-AS gaps from the
+/// coverage map, scanner stats and packet-plane counters from the run.
+DegradationReport degradation_of(const CensusResult& result,
+                                 const scan::ScannerStats& scan_stats) {
+  DegradationReport report;
+  const classify::Census& census = result.census;
+  report.targets_probed = census.rr + census.rf + census.tf + census.invalid +
+                          census.unresponsive;
+  report.targets_answered = report.targets_probed - census.unresponsive;
+  report.ases_probed = census.coverage_by_asn.size();
+  for (const auto& [asn, cov] : census.coverage_by_asn) {
+    if (cov.answered < cov.probed) ++report.ases_degraded;
+    if (cov.answered == 0) ++report.ases_dark;
+  }
+  report.scan = scan_stats;
+  const auto& sim = result.world->sim();
+  report.trace_dropped = sim.trace_dropped();
+  report.net = sim.counters();
+  return report;
+}
+
+}  // namespace
+
 CensusResult run_census(const CensusConfig& cfg) {
   CensusResult result;
   topo::TopologyConfig topology = cfg.topology;
@@ -39,6 +65,8 @@ CensusResult run_census(const CensusConfig& cfg) {
   sc.timeout = cfg.scan_timeout;
   sc.probes_per_second = cfg.probes_per_second;
   sc.shard_interleave = cfg.shard_interleaved_targets;
+  sc.max_retries = cfg.scan_max_retries;
+  sc.backoff_base = cfg.scan_retry_backoff;
 
   classify::ClassifyConfig cc;
   cc.control_addr = result.world->control_addr();
@@ -72,6 +100,7 @@ CensusResult run_census(const CensusConfig& cfg) {
             }
           });
       result.census = acc.finish();
+      result.degradation = degradation_of(result, result.vantage_set->stats());
       return result;
     }
     result.vantage_set->run_to_completion();
@@ -86,6 +115,9 @@ CensusResult run_census(const CensusConfig& cfg) {
 
   result.classified = classify::classify_all(result.transactions, cc);
   result.census = classify::analyze(result.classified, result.registry);
+  result.degradation = degradation_of(
+      result, result.vantage_set ? result.vantage_set->stats()
+                                 : result.scanner->stats());
   if (!cfg.retain_transactions) {
     result.transactions.clear();
     result.transactions.shrink_to_fit();

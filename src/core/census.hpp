@@ -77,12 +77,51 @@ struct CensusConfig {
   /// Million-host runs turn this off: the Census tables are the
   /// product, and the O(targets) logs are the last per-probe state.
   bool retain_transactions = true;
+  /// Per-probe retransmissions under adverse networks (see
+  /// scan::ScanConfig::max_retries): each unanswered probe is resent
+  /// up to this many times with exponential backoff. 0 = classic
+  /// single-shot census. Retries are unconditional (zmap -P style), so
+  /// the schedule — and with it the census — is shard-count-invariant.
+  std::uint32_t scan_max_retries = 0;
+  /// Backoff base: retry k lands backoff * (2^k - 1) after the
+  /// original send.
+  util::Duration scan_retry_backoff = util::Duration::seconds(1);
 };
 
 /// Host offset inside a campaign's vantage prefix (the address the
 /// campaign host binds: prefix base + offset). Previously a magic `+7`
 /// in run_campaign.
 inline constexpr std::uint32_t kCampaignVantageHostOffset = 7;
+
+/// Graceful-degradation accounting of one census run: how much of the
+/// target population actually answered, which ASes degraded or went
+/// dark, and the fault/retry counters explaining why. Populated on
+/// every run (all zero-gap on a fault-free world) — the comparison
+/// surface for retry sweeps and the chaos harness.
+struct DegradationReport {
+  /// Probe targets (census rows) and how many produced any response.
+  std::uint64_t targets_probed = 0;
+  std::uint64_t targets_answered = 0;
+  /// ASes with probed targets; of those, ASes that lost at least one
+  /// answer, and ASes that lost every answer.
+  std::uint64_t ases_probed = 0;
+  std::uint64_t ases_degraded = 0;
+  std::uint64_t ases_dark = 0;
+  /// Aggregated scanner statistics (sent/retried/duplicate/late/...).
+  scan::ScannerStats scan;
+  /// Tap records dropped by the bounded trace ring.
+  std::uint64_t trace_dropped = 0;
+  /// Packet-plane counters (loss, outage, jitter, corruption, ...).
+  netsim::SimCounters net;
+
+  /// Fraction of probed targets that answered (1.0 when none probed).
+  [[nodiscard]] double coverage() const {
+    return targets_probed == 0
+               ? 1.0
+               : static_cast<double>(targets_answered) /
+                     static_cast<double>(targets_probed);
+  }
+};
 
 struct CensusResult {
   std::unique_ptr<topo::Deployment> world;
@@ -97,6 +136,8 @@ struct CensusResult {
   classify::Census census;
   /// Memory high-water marks of the streaming run (zero otherwise).
   scan::VantageSet::StreamStats stream_stats;
+  /// Coverage and fault accounting for this run.
+  DegradationReport degradation;
 };
 
 /// Full pipeline: topology → scan → correlate → classify → analyze.

@@ -265,4 +265,36 @@ Table as_classification_table(const classify::AsClassificationReport& report) {
   return t;
 }
 
+Table degradation_table(const DegradationReport& report) {
+  Table t({"Metric", "Value"});
+  t.add_row({"Targets probed", Table::fmt_count(report.targets_probed)});
+  t.add_row({"Targets answered", Table::fmt_count(report.targets_answered)});
+  t.add_row({"Coverage", Table::fmt_percent(report.coverage(), 2)});
+  t.add_row({"ASes probed", Table::fmt_count(report.ases_probed)});
+  t.add_row({"ASes degraded", Table::fmt_count(report.ases_degraded)});
+  t.add_row({"ASes dark", Table::fmt_count(report.ases_dark)});
+  t.add_row({"Probes sent", Table::fmt_count(report.scan.probes_sent)});
+  t.add_row({"Probes retried", Table::fmt_count(report.scan.probes_retried)});
+  t.add_row({"Responses received",
+             Table::fmt_count(report.scan.responses_received)});
+  t.add_row({"Responses duplicate",
+             Table::fmt_count(report.scan.responses_duplicate)});
+  t.add_row({"Responses late", Table::fmt_count(report.scan.responses_late)});
+  t.add_row({"Responses corrupt",
+             Table::fmt_count(report.scan.responses_corrupt)});
+  t.add_row({"ICMP errors", Table::fmt_count(report.scan.icmp_errors)});
+  t.add_row({"Trace records dropped", Table::fmt_count(report.trace_dropped)});
+  t.add_row({"Packets lost (loss model)",
+             Table::fmt_count(report.net.dropped_loss)});
+  t.add_row({"Packets lost (outages)",
+             Table::fmt_count(report.net.dropped_outage)});
+  t.add_row({"Packets jittered", Table::fmt_count(report.net.jittered)});
+  t.add_row({"Packets reordered", Table::fmt_count(report.net.reordered)});
+  t.add_row({"Packets duplicated", Table::fmt_count(report.net.duplicated)});
+  t.add_row({"Packets corrupted", Table::fmt_count(report.net.corrupted)});
+  t.add_row({"ICMP unreachable suppressed",
+             Table::fmt_count(report.net.icmp_unreachable_suppressed)});
+  return t;
+}
+
 }  // namespace odns::core::report

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "classify/analysis.hpp"
+#include "core/census.hpp"
 #include "dnsroute/dnsroute.hpp"
 #include "util/table.hpp"
 
@@ -55,5 +56,11 @@ namespace odns::core::report {
 /// Appendix E: AS classification of the top-N TF-hosting ASes.
 [[nodiscard]] util::Table as_classification_table(
     const classify::AsClassificationReport& report);
+
+/// Graceful-degradation accounting: census coverage, per-AS gaps, and
+/// the scanner/packet-plane fault counters explaining them (trace
+/// drops, retries, duplicate/late/corrupt responses, loss, outages,
+/// jitter/reorder/dup/corrupt injections, suppressed ICMP).
+[[nodiscard]] util::Table degradation_table(const DegradationReport& report);
 
 }  // namespace odns::core::report

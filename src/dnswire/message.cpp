@@ -58,7 +58,10 @@ ResourceRecord ResourceRecord::soa(const Name& zone, const Name& mname,
                                    std::uint32_t minimum) {
   SoaRecord soa;
   soa.mname = mname;
-  soa.rname = *Name::parse("hostmaster." + zone.to_string());
+  // prepend() handles the root zone (where "hostmaster." + "." would
+  // contain an empty label) and falls back to the zone itself on a
+  // name-length overflow.
+  soa.rname = zone.prepend("hostmaster").value_or(zone);
   soa.serial = serial;
   soa.refresh = 7200;
   soa.retry = 900;

@@ -1,0 +1,129 @@
+#include "netsim/fault_plane.hpp"
+
+#include <algorithm>
+
+#include "netsim/stateless.hpp"
+
+namespace odns::netsim {
+
+namespace {
+
+/// The shared identity words: same folding as the loss decision, so a
+/// packet's fault fates are pure functions of its content and send
+/// instant. The domain separator keeps the fates decorrelated from
+/// each other and from loss.
+std::uint64_t fault_hash(std::uint64_t seed, std::uint64_t domain,
+                         const Packet& pkt, util::SimTime at) {
+  return stateless_decision(
+      seed, domain, std::uint64_t{pkt.src.value()} << 32 | pkt.dst.value(),
+      std::uint64_t{pkt.src_port} << 48 | std::uint64_t{pkt.dst_port} << 32 |
+          static_cast<std::uint32_t>(pkt.ttl),
+      static_cast<std::uint64_t>(at.nanos()) ^
+          (std::uint64_t{static_cast<std::uint8_t>(pkt.proto)} << 56));
+}
+
+/// Probability compare against the top 53 bits, the same convention as
+/// loss_drop (exact at rate 0 and 1, bias-free in between).
+bool fires(std::uint64_t h, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const auto threshold =
+      static_cast<std::uint64_t>(rate * 9007199254740992.0);  // 2^53
+  return (h >> 11) < threshold;
+}
+
+}  // namespace
+
+void FaultPlane::configure(const FaultConfig& cfg, std::uint64_t seed,
+                           util::Duration hop_latency) {
+  cfg_ = cfg;
+  seed_ = seed;
+  hop_nanos_ = hop_latency.count_nanos();
+  active_ = cfg_.any();
+  if (cfg_.reorder_cohorts_max == 0) cfg_.reorder_cohorts_max = 1;
+}
+
+bool FaultPlane::in_outage(Asn asn, util::SimTime at) const {
+  for (const auto& w : cfg_.outages) {
+    if (w.asn == asn && at >= w.from && at < w.until) return true;
+  }
+  return false;
+}
+
+FaultSkew FaultPlane::delivery_skew(const Packet& pkt,
+                                    util::SimTime sent_at) const {
+  FaultSkew skew;
+  if (cfg_.jitter_rate > 0.0 && cfg_.jitter_max > util::Duration::nanos(0)) {
+    const std::uint64_t h = fault_hash(seed_, kJitterDomain, pkt, sent_at);
+    if (fires(h, cfg_.jitter_rate)) {
+      skew.jittered = true;
+      // Magnitude from a second mix of the occurrence hash: uniform in
+      // [1, jitter_max] nanoseconds, never zero (a zero draw would make
+      // "jittered" unobservable).
+      const auto span =
+          static_cast<std::uint64_t>(cfg_.jitter_max.count_nanos());
+      skew.extra = skew.extra + util::Duration::nanos(static_cast<std::int64_t>(
+                                    1 + mix64(h) % span));
+    }
+  }
+  if (cfg_.reorder_rate > 0.0 && hop_nanos_ > 0) {
+    const std::uint64_t h = fault_hash(seed_, kReorderDomain, pkt, sent_at);
+    if (fires(h, cfg_.reorder_rate)) {
+      skew.reordered = true;
+      // Whole hop latencies push the packet past its same-instant
+      // cohort — and past any in-between cohorts — so later traffic
+      // provably overtakes it.
+      const auto cohorts = 1 + mix64(h) % cfg_.reorder_cohorts_max;
+      skew.extra = skew.extra + util::Duration::nanos(static_cast<std::int64_t>(
+                                    cohorts) * hop_nanos_);
+    }
+  }
+  return skew;
+}
+
+bool FaultPlane::duplicate(const Packet& pkt, util::SimTime sent_at) const {
+  if (cfg_.dup_rate <= 0.0) return false;
+  return fires(fault_hash(seed_, kDupDomain, pkt, sent_at), cfg_.dup_rate);
+}
+
+bool FaultPlane::corrupt_payload(Packet& pkt, util::SimTime sent_at) const {
+  if (cfg_.corrupt_rate <= 0.0 || pkt.proto != Protocol::udp ||
+      pkt.payload.empty()) {
+    return false;
+  }
+  const std::uint64_t h = fault_hash(seed_, kCorruptDomain, pkt, sent_at);
+  if (!fires(h, cfg_.corrupt_rate)) return false;
+  const std::uint64_t m = mix64(h);
+  const std::size_t pos = m % pkt.payload.size();
+  // Guaranteed-nonzero xor: the byte always changes, so a corruption
+  // decision is always observable on the wire.
+  pkt.payload[pos] ^= static_cast<std::uint8_t>(1 + (m >> 32) % 255);
+  return true;
+}
+
+bool FaultPlane::allow_unreachable(std::size_t as_index, util::SimTime at) {
+  Bucket& b = buckets_[as_index];
+  const std::int64_t t = at.nanos();
+  const double rate = cfg_.unreachable_per_second;
+  const double burst = std::max(1.0, rate);
+  if (b.last_ns != t) {
+    // First touch at this instant: refill (a fresh bucket starts
+    // full), then freeze the verdict for the whole instant. Admitted
+    // emissions below still consume tokens, so an instant can drive
+    // the bucket into bounded debt — repaid by elapsed time — but the
+    // verdict, and with it every packet's fate, is independent of the
+    // order same-instant emissions interleave in.
+    if (b.last_ns < 0) {
+      b.tokens = burst;
+    } else {
+      b.tokens = std::min(
+          burst, b.tokens + static_cast<double>(t - b.last_ns) * rate * 1e-9);
+    }
+    b.last_ns = t;
+    b.verdict = b.tokens >= 1.0;
+  }
+  if (b.verdict) b.tokens -= 1.0;
+  return b.verdict;
+}
+
+}  // namespace odns::netsim

@@ -1,0 +1,134 @@
+#pragma once
+// Adverse-network fault plane: bounded delivery jitter, reordering,
+// packet duplication, payload corruption, scheduled AS outage windows,
+// and rate-limited ICMP unreachable emission. Every stochastic choice
+// is a stateless_decision over (seed, fault domain, packet identity,
+// send instant) — never an RNG stream — so a faulted run makes the
+// identical per-packet choices for every shard count, thread mode, and
+// event interleaving, and the zero-fault configuration is byte-
+// identical to a simulator without the plane. See "Fault plane &
+// graceful degradation" in docs/architecture.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/packet.hpp"
+#include "util/time.hpp"
+
+namespace odns::netsim {
+
+/// One scheduled dark window: the AS neither sends nor receives while
+/// `from <= t < until` (origin-side sends are dropped at the send
+/// instant, destination-side arrivals at the would-be delivery
+/// instant). Windows model an eyeball AS going dark mid-census and
+/// recovering; multiple windows per AS are allowed.
+struct OutageWindow {
+  Asn asn = 0;
+  util::SimTime from;
+  util::SimTime until;
+};
+
+/// SimConfig-sweepable fault knobs. All rates are per-packet
+/// probabilities in [0, 1]; zero everywhere (the default) disables the
+/// plane entirely — inject() takes the exact pre-fault-plane path.
+struct FaultConfig {
+  /// Probability a delivered packet is jittered; extra delay is drawn
+  /// uniformly from (0, jitter_max].
+  double jitter_rate = 0.0;
+  util::Duration jitter_max = util::Duration::millis(10);
+  /// Probability a delivered packet is additionally delayed past its
+  /// same-instant cohort: 1..reorder_cohorts_max extra hop latencies,
+  /// so it overtakes nothing but is overtaken — observable reordering
+  /// without violating the conservative-window contract (skew only
+  /// ever adds delay).
+  double reorder_rate = 0.0;
+  std::uint32_t reorder_cohorts_max = 4;
+  /// Probability a delivered packet arrives twice (the copy lands one
+  /// hop latency after the original, sharing its corruption fate).
+  double dup_rate = 0.0;
+  /// Probability one payload byte of a delivered UDP packet is
+  /// flipped (feeding the dnswire fuzz-hardened decode path).
+  double corrupt_rate = 0.0;
+  /// Scheduled dark windows, checked per packet against origin and
+  /// destination AS.
+  std::vector<OutageWindow> outages;
+  /// Dark-AS border routers answer undeliverable traffic with ICMP
+  /// host-unreachable, rate-limited per AS by a deterministic token
+  /// bucket at this refill rate (burst = max(1, rate)). 0 = dark ASes
+  /// drop silently (no unreachable emission at all).
+  double unreachable_per_second = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return jitter_rate > 0.0 || reorder_rate > 0.0 || dup_rate > 0.0 ||
+           corrupt_rate > 0.0 || !outages.empty();
+  }
+};
+
+/// Skew verdict for one delivered packet: `extra` is always >= 0, so
+/// the base delivery instant (already one full hop latency ahead of
+/// any cross-shard boundary) stays conservative-window safe.
+struct FaultSkew {
+  util::Duration extra = util::Duration::nanos(0);
+  bool jittered = false;
+  bool reordered = false;
+};
+
+class FaultPlane {
+ public:
+  /// Binds the plane to a simulator's seed and hop latency. Call
+  /// before any packet moves (Simulator's constructor does) or between
+  /// runs; reconfiguring mid-run would change in-flight decisions.
+  void configure(const FaultConfig& cfg, std::uint64_t seed,
+                 util::Duration hop_latency);
+
+  /// True when any fault knob is live — the inject() fast-path gate
+  /// that keeps the zero-fault configuration byte-identical to an
+  /// engine without the plane.
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+  /// Whether `asn` is inside a scheduled dark window at `at`.
+  [[nodiscard]] bool in_outage(Asn asn, util::SimTime at) const;
+
+  /// Jitter + reorder delay for one delivered packet, keyed on the
+  /// packet identity and its send instant.
+  [[nodiscard]] FaultSkew delivery_skew(const Packet& pkt,
+                                        util::SimTime sent_at) const;
+
+  /// Whether the packet is delivered twice.
+  [[nodiscard]] bool duplicate(const Packet& pkt, util::SimTime sent_at) const;
+
+  /// Flips one payload byte in place when the corruption decision
+  /// fires (UDP with a non-empty payload only); returns whether it did.
+  [[nodiscard]] bool corrupt_payload(Packet& pkt, util::SimTime sent_at) const;
+
+  // --- ICMP unreachable rate limiting --------------------------------
+  // Deterministic per-AS token bucket in the RRL style: the admission
+  // verdict is fixed when the bucket first refills at an instant, and
+  // every admitted emission consumes one token (debt within the
+  // instant is bounded by the instant's attempts) — so same-instant
+  // admissions are order-independent and shard-count-invariant. Each
+  // bucket is only ever touched by the AS's owning shard; sharded runs
+  // presize the table at partition freeze (resize_buckets).
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  void resize_buckets(std::size_t as_count) {
+    if (buckets_.size() < as_count) buckets_.resize(as_count);
+  }
+  /// Admission decision for one host-unreachable emission by AS index.
+  [[nodiscard]] bool allow_unreachable(std::size_t as_index, util::SimTime at);
+
+ private:
+  FaultConfig cfg_;
+  std::uint64_t seed_ = 0;
+  std::int64_t hop_nanos_ = 0;
+  bool active_ = false;
+
+  struct Bucket {
+    std::int64_t last_ns = -1;  // -1 = untouched (starts full)
+    double tokens = 0.0;
+    bool verdict = false;
+  };
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace odns::netsim

@@ -118,6 +118,9 @@ void Simulator::freeze_partition() {
     if (loss_burst_.size() < net_.as_count()) {
       loss_burst_.resize(net_.as_count());
     }
+    if (faults_.active()) {
+      faults_.resize_buckets(net_.as_count());
+    }
     // External taps would run concurrently from shard threads; sharded
     // observability goes through the built-in per-shard trace.
     assert(taps_.empty() && "add_tap is single-shard only; use the trace");

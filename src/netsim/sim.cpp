@@ -13,6 +13,7 @@ thread_local const Simulator* Simulator::tl_owner_ = nullptr;
 
 Simulator::Simulator(SimConfig cfg) : cfg_(cfg) {
   if (cfg_.shards == 0) cfg_.shards = 1;
+  faults_.configure(cfg_.faults, cfg_.seed, cfg_.hop_latency);
   shards_.reserve(cfg_.shards);
   for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(*this, i, cfg_.shards, cfg_));
@@ -94,6 +95,17 @@ void Simulator::set_batch_delivery_enabled(bool on) {
   for (auto& sh : shards_) sh->events.set_batch_delivery(on);
 }
 
+void Simulator::set_fault_config(const FaultConfig& faults) {
+  cfg_.faults = faults;
+  faults_.configure(faults, cfg_.seed, cfg_.hop_latency);
+  if (!single_shard() && faults_.active()) {
+    // Mirror freeze_partition's presizing so shard threads never
+    // resize the bucket table (the partition may already be frozen
+    // when the sweep lever flips faults on between runs).
+    faults_.resize_buckets(net_.as_count());
+  }
+}
+
 const SimCounters& Simulator::counters() const {
   if (single_shard()) return shards_[0]->counters;
   agg_counters_ = SimCounters{};
@@ -106,6 +118,13 @@ const SimCounters& Simulator::counters() const {
     agg_counters_.ttl_expired += sh->counters.ttl_expired;
     agg_counters_.icmp_generated += sh->counters.icmp_generated;
     agg_counters_.redirected += sh->counters.redirected;
+    agg_counters_.dropped_outage += sh->counters.dropped_outage;
+    agg_counters_.jittered += sh->counters.jittered;
+    agg_counters_.reordered += sh->counters.reordered;
+    agg_counters_.duplicated += sh->counters.duplicated;
+    agg_counters_.corrupted += sh->counters.corrupted;
+    agg_counters_.icmp_unreachable_suppressed +=
+        sh->counters.icmp_unreachable_suppressed;
   }
   return agg_counters_;
 }
@@ -322,6 +341,22 @@ void Simulator::send_icmp(Shard& sh, IcmpType type, util::Ipv4 from,
   assert(single_shard() || shard_of_as(origin_as) == sh.index);
   // RFC 1122: never generate ICMP errors about ICMP errors.
   if (offender.proto == Protocol::icmp) return;
+  if (type == IcmpType::host_unreachable && faults_.active()) {
+    // Dark-AS border routers rate-limit their unreachable chatter: a
+    // deterministic per-AS token bucket whose admission verdict is
+    // frozen per instant, so same-instant emissions are order-
+    // independent (the RRL discipline). The bucket is touched only on
+    // the AS-owning shard — the assert above already guarantees that.
+    const std::size_t idx = net_.as_index(origin_as);
+    if (idx >= faults_.bucket_count()) {
+      assert(single_shard());
+      faults_.resize_buckets(net_.as_count());
+    }
+    if (!faults_.allow_unreachable(idx, sh.events.now())) {
+      ++sh.counters.icmp_unreachable_suppressed;
+      return;
+    }
+  }
   Packet icmp;
   icmp.src = from;
   icmp.dst = offender.src;
@@ -399,6 +434,18 @@ void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
   }
 
   const util::SimTime at_now = sh.events.now();
+  // Origin-side outage: a dark AS can neither receive nor send (its
+  // hosts went dark too), so traffic originated inside a scheduled
+  // window is dropped at the send instant — silently, like a powered-
+  // off CPE. Recovery is implicit: sends after the window pass again.
+  // Router-originated ICMP is exempt, like the SAV check above: the
+  // border router is exactly the component still powered during a
+  // dark window — it's what emits the rate-limited host-unreachables.
+  if (!from_router && faults_.active() && faults_.in_outage(origin_as, at_now)) {
+    ++sh.counters.dropped_outage;
+    emit(sh, TapEvent::dropped_outage, pkt);
+    return;
+  }
   if (cfg_.loss_rate > 0.0 && loss_drop(origin_as, pkt, at_now)) {
     ++sh.counters.dropped_loss;
     emit(sh, TapEvent::dropped_loss, pkt);
@@ -462,6 +509,54 @@ void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
   }
 
   HostId dst_host = route->dst_host;
+  util::SimTime deliver_at = at_now + cfg_.hop_latency * (hops + 1);
+  bool dup = false;
+  if (faults_.active()) {
+    // Every fault decision is made here, on the emitting shard, keyed
+    // on the packet content and send instant, and checked against the
+    // *routed* destination (before the vantage override below) — so
+    // fault fates, counters, and trace records are invariant across
+    // shard counts and vantage counts alike.
+    const Asn dst_as = net_.host(dst_host).asn;
+    if (faults_.in_outage(dst_as, deliver_at)) {
+      // Destination went dark before the packet would arrive. The dark
+      // AS's border router (still powered — the access link is what
+      // failed) reports host-unreachable, rate-limited per AS at
+      // emission time on the AS-owning shard (send_icmp's gate).
+      ++sh.counters.dropped_outage;
+      emit(sh, TapEvent::dropped_outage, pkt);
+      if (cfg_.faults.unreachable_per_second > 0.0 &&
+          pkt.proto != Protocol::icmp) {
+        const util::Ipv4 dark_router = pkt.dst;
+        schedule_icmp_on(sh, single_shard() ? 0 : shard_of_as(dst_as),
+                         deliver_at, IcmpType::host_unreachable,
+                         std::move(pkt), dark_router, dst_as);
+      }
+      return;
+    }
+    const FaultSkew skew = faults_.delivery_skew(pkt, at_now);
+    if (skew.jittered) {
+      ++sh.counters.jittered;
+      emit(sh, TapEvent::jittered, pkt);
+    }
+    if (skew.reordered) {
+      ++sh.counters.reordered;
+      emit(sh, TapEvent::reordered, pkt);
+    }
+    // Skew only ever *adds* delay to a base already one full hop
+    // latency past any cross-shard boundary, so the conservative
+    // window barrier stays safe under maximum jitter.
+    deliver_at = deliver_at + skew.extra;
+    if (faults_.corrupt_payload(pkt, at_now)) {
+      ++sh.counters.corrupted;
+      emit(sh, TapEvent::corrupted, pkt);
+    }
+    if (faults_.duplicate(pkt, at_now)) {
+      dup = true;
+      ++sh.counters.duplicated;
+      emit(sh, TapEvent::duplicated, pkt);
+    }
+  }
   // Multi-vantage capture: traffic for the capture address is handed
   // to the vantage member pinned to the *emitting* shard, after the
   // route (hop count, delivery time, TTL) has been computed against
@@ -472,9 +567,16 @@ void Simulator::inject(Shard& sh, Packet pkt, Asn origin_as,
     dst_host = vantage_member_for_shard_[sh.index];
   }
   pkt.ttl -= hops;
-  schedule_deliver_on(sh, single_shard() ? 0 : host_shard_[dst_host],
-                      at_now + cfg_.hop_latency * (hops + 1), std::move(pkt),
-                      dst_host);
+  const std::uint32_t dst_shard = single_shard() ? 0 : host_shard_[dst_host];
+  if (dup) {
+    // The copy lands one hop latency after the (possibly corrupted)
+    // original — duplication happens on the wire, so both carry the
+    // same bytes.
+    Packet copy = pkt;
+    schedule_deliver_on(sh, dst_shard, deliver_at + cfg_.hop_latency,
+                        std::move(copy), dst_host);
+  }
+  schedule_deliver_on(sh, dst_shard, deliver_at, std::move(pkt), dst_host);
 }
 
 void Simulator::deliver(Shard& sh, Packet pkt, HostId host) {

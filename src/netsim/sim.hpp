@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "netsim/event_queue.hpp"
+#include "netsim/fault_plane.hpp"
 #include "netsim/network.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/shard_pool.hpp"
@@ -71,6 +72,12 @@ enum class TapEvent : std::uint8_t {
   dropped_no_route,
   ttl_expired,
   redirected,
+  // Fault-plane events (append-only so recorded traces stay stable).
+  dropped_outage,
+  jittered,
+  reordered,
+  duplicated,
+  corrupted,
 };
 
 using Tap = std::function<void(TapEvent, const Packet&)>;
@@ -106,6 +113,15 @@ struct SimConfig {
   /// byte-identical with batching off (tests/batch_plane_test.cpp);
   /// this switch is the equivalence tests' and benches' A/B lever.
   bool batch_delivery = true;
+
+  // --- fault plane ("Fault plane & graceful degradation",
+  // docs/architecture.md) --------------------------------------------
+  /// Adverse-network fault knobs (jitter, reordering, duplication,
+  /// corruption, AS outage windows, rate-limited ICMP unreachable).
+  /// All decisions are stateless per-packet hashes under the same
+  /// `seed`, so faulted runs stay byte-identical across shard counts;
+  /// the all-zero default keeps inject() on the exact classic path.
+  FaultConfig faults;
 };
 
 struct SimCounters {
@@ -117,6 +133,13 @@ struct SimCounters {
   std::uint64_t ttl_expired = 0;
   std::uint64_t icmp_generated = 0;
   std::uint64_t redirected = 0;
+  // Fault-plane counters (all zero when SimConfig::faults is inert).
+  std::uint64_t dropped_outage = 0;
+  std::uint64_t jittered = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t icmp_unreachable_suppressed = 0;
 
   friend bool operator==(const SimCounters&, const SimCounters&) = default;
 };
@@ -214,6 +237,14 @@ class Simulator {
   [[nodiscard]] bool batch_delivery_enabled() const {
     return cfg_.batch_delivery;
   }
+
+  /// Swaps the fault-plane configuration (SimConfig::faults) between
+  /// runs: the sweep lever for chaos differentials, and the only way
+  /// to schedule outage windows for ASes discovered after world
+  /// construction. Call with no events pending — mid-run swaps would
+  /// change in-flight decisions.
+  void set_fault_config(const FaultConfig& faults);
+  [[nodiscard]] const FaultPlane& fault_plane() const { return faults_; }
 
   // --- sharding ------------------------------------------------------
   [[nodiscard]] std::uint32_t shard_count() const {
@@ -465,6 +496,9 @@ class Simulator {
     std::vector<std::pair<std::uint64_t, std::uint32_t>> seen;
   };
   std::vector<LossBurst> loss_burst_;
+  /// Adverse-network decisions (stateless hashes + per-AS unreachable
+  /// buckets, each touched only by the AS's owning shard).
+  FaultPlane faults_;
   std::vector<Tap> taps_;
   bool trace_enabled_ = false;
   std::size_t trace_limit_ = SIZE_MAX;  // per shard

@@ -17,6 +17,18 @@ namespace odns::netsim {
 inline constexpr std::uint64_t kLossDomain = 0x6C6F73735F686173ull;     // "loss_has"
 inline constexpr std::uint64_t kRrlSlipDomain = 0x72726C5F736C6970ull;  // "rrl_slip"
 
+// Fault-plane domains (netsim::FaultPlane, "Fault plane & graceful
+// degradation" in docs/architecture.md). Each adverse-network effect
+// draws its occurrence — and, where it needs one, its magnitude — from
+// its own domain over the same (seed, packet identity, send instant)
+// words the loss decision hashes, so a packet's jitter never correlates
+// with its duplication fate, and none of them consult per-shard state.
+inline constexpr std::uint64_t kJitterDomain = 0x6A69745F64656C79ull;   // "jit_dely"
+inline constexpr std::uint64_t kReorderDomain = 0x72656F7264657221ull;  // "reorder!"
+inline constexpr std::uint64_t kDupDomain = 0x6475705F706B7421ull;      // "dup_pkt!"
+inline constexpr std::uint64_t kCorruptDomain = 0x636F727275707421ull;  // "corrupt!"
+inline constexpr std::uint64_t kOutageDomain = 0x6F75746167655F21ull;   // "outage_!"
+
 /// splitmix64 finalizer — the stateless mixing step behind every
 /// per-packet decision.
 [[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {

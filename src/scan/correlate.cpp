@@ -11,7 +11,12 @@ void record_response(const netsim::Datagram& dgram, util::SimTime at,
                      ScannerStats& stats) {
   auto parsed = dnswire::decode(*dgram.payload);
   if (!parsed) {
+    // Undecodable captures are counted twice on purpose: parse_errors
+    // keeps the classic total, responses_corrupt isolates the wire-
+    // damage subset the fault plane injects (the fuzz-hardened decode
+    // rejects the flipped bytes instead of misclassifying them).
     ++stats.parse_errors;
+    ++stats.responses_corrupt;
     return;
   }
   const auto& msg = parsed.value();
@@ -58,7 +63,7 @@ std::vector<RawResponse> merge_captures(
 std::vector<Transaction> correlate_capture(
     const std::vector<SentProbe>& probes,
     const std::vector<RawResponse>& capture, util::Duration timeout,
-    ScannerStats& stats) {
+    ScannerStats& stats, util::Duration retry_extension) {
   std::unordered_map<std::uint32_t, std::uint32_t> tuple_to_probe;
   tuple_to_probe.reserve(probes.size());
   for (std::size_t i = 0; i < probes.size(); ++i) {
@@ -79,17 +84,32 @@ std::vector<Transaction> correlate_capture(
     }
     auto& txn = out[it->second];
     const auto& probe = probes[it->second];
-    if (rec.at - probe.sent_at > timeout) {
-      ++stats.responses_late;
+    const util::Duration age = rec.at - probe.sent_at;
+    if (txn.answered) {
+      // Straggler on a concluded probe: within the original window
+      // it's a genuine duplicate delivery; past it, it's late — e.g.
+      // the original's answer limping in after a retry (same tuple)
+      // already concluded the transaction.
+      if (age > timeout) {
+        ++stats.responses_late;
+      } else {
+        ++stats.responses_duplicate;
+      }
       continue;
     }
-    if (txn.answered) {
-      ++stats.responses_duplicate;
+    // Unanswered probes accept up to the retry-widened window: the
+    // last retransmission leaves retry_extension after the original
+    // and its answer gets the full timeout. RTT is still measured from
+    // the original send (the plan's invariant instant — which attempt
+    // elicited the answer is unobservable by design, the tuple is
+    // shared).
+    if (age > timeout + retry_extension) {
+      ++stats.responses_late;
       continue;
     }
     txn.answered = true;
     txn.response_src = rec.src;
-    txn.rtt = rec.at - probe.sent_at;
+    txn.rtt = age;
     txn.rcode = rec.rcode;
     txn.answer_addrs = rec.answer_addrs;
     txn.vantage = rec.vantage;

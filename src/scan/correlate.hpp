@@ -32,11 +32,17 @@ void record_response(const netsim::Datagram& dgram, util::SimTime at,
 
 /// Joins `capture` with `probes` on (client port, TXID) and returns
 /// one transaction per probe. The first in-window response in capture
-/// order wins; later matches count as duplicates. Updates the
-/// unmatched/duplicate/late statistics in `stats`.
+/// order wins; later in-window matches count as duplicates, and
+/// stragglers past the original window count late — even when a retry
+/// already concluded the probe. `retry_extension`
+/// (ScanConfig::retry_extension()) widens the accept window for
+/// *unanswered* probes only, so answers elicited by retransmissions
+/// (same tuple, sent up to that much later) still correlate. Updates
+/// the unmatched/duplicate/late statistics in `stats`.
 [[nodiscard]] std::vector<Transaction> correlate_capture(
     const std::vector<SentProbe>& probes,
     const std::vector<RawResponse>& capture, util::Duration timeout,
-    ScannerStats& stats);
+    ScannerStats& stats,
+    util::Duration retry_extension = util::Duration::nanos(0));
 
 }  // namespace odns::scan

@@ -36,14 +36,38 @@ VantagePlan VantagePlan::build(const netsim::Simulator& sim,
     paced = &interleaved;
   }
   TupleSequencer tuples(cfg.port_base, cfg.port_limit);
-  plan.probes_.reserve(paced->size());
+  const std::size_t n = paced->size();
+  plan.originals_ = n;
+  plan.probes_.reserve(n * (1 + cfg.max_retries));
   util::Duration at = util::Duration::nanos(0);
+  std::uint32_t index = 0;
   for (auto target : *paced) {
     const auto [port, txid] = tuples.next();
-    plan.probes_.push_back(PlannedProbe{target, at, port, txid});
+    plan.probes_.push_back(PlannedProbe{target, at, port, txid, index, 0});
     at = at + plan.gap_;
+    ++index;
   }
-  plan.span_ = at;
+  plan.last_at_ = n == 0 ? util::Duration::nanos(0) : at - plan.gap_;
+  // Retransmissions: every original is re-sent unconditionally at
+  // exponential-backoff offsets with its own tuple. Unconditional — a
+  // cancel-on-answer policy would make the plan depend on response
+  // timing (and through capture attribution, on the shard count); the
+  // correlators dedup by tuple instead. Because fault decisions are
+  // stateless per-packet hashes, appending these entries changes no
+  // existing packet's fate — the monotone-recovery property the chaos
+  // harness asserts.
+  for (std::uint32_t k = 1; k <= cfg.max_retries && n > 0; ++k) {
+    const util::Duration delta =
+        cfg.backoff_base * static_cast<std::int64_t>((1ull << k) - 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const PlannedProbe& orig = plan.probes_[i];
+      plan.probes_.push_back(PlannedProbe{orig.target, orig.at + delta,
+                                          orig.src_port, orig.txid, i,
+                                          static_cast<std::uint8_t>(k)});
+    }
+    plan.last_at_ = plan.probes_.back().at;
+  }
+  plan.span_ = n == 0 ? at : plan.last_at_ + plan.gap_;
   return plan;
 }
 

@@ -22,6 +22,13 @@ struct PlannedProbe {
   util::Duration at = util::Duration::nanos(0);
   std::uint16_t src_port = 0;
   std::uint16_t txid = 0;
+  /// Probe-table index this entry answers for: its own index for
+  /// original sends, the original's index for retransmissions (which
+  /// reuse the original's tuple — the dedup key).
+  std::uint32_t origin = 0;
+  /// 0 = original send; k = k-th retransmission (ScanConfig::
+  /// max_retries), offset backoff_base * (2^k - 1) after the original.
+  std::uint8_t attempt = 0;
 };
 
 /// The paper's unique-tuple allocator: walks the ephemeral port range,
@@ -64,8 +71,10 @@ class VantagePlan {
   VantagePlan() = default;
 
   /// Computes the full plan for `targets` under `cfg`: ordering
-  /// (classic or interleaved), tuple assignment in pacing order, and
-  /// paced send offsets.
+  /// (classic or interleaved), tuple assignment in pacing order, paced
+  /// send offsets, and — with cfg.max_retries > 0 — the appended
+  /// retransmission entries (originals first, so plan index == probe-
+  /// table index for every attempt-0 entry).
   [[nodiscard]] static VantagePlan build(const netsim::Simulator& sim,
                                          const ScanConfig& cfg,
                                          const std::vector<util::Ipv4>& targets);
@@ -74,14 +83,20 @@ class VantagePlan {
     return probes_;
   }
   [[nodiscard]] util::Duration pacing_gap() const { return gap_; }
-  /// One pacing gap past the last probe — the classic scanner's
-  /// pre-run estimate of the send horizon.
+  /// One pacing gap past the last planned send (retries included) —
+  /// the classic scanner's pre-run estimate of the send horizon.
   [[nodiscard]] util::Duration span() const { return span_; }
+  /// Offset of the last planned send itself (start for an empty plan).
+  [[nodiscard]] util::Duration last_at() const { return last_at_; }
+  /// Number of attempt-0 entries (the probe-table prefix of probes()).
+  [[nodiscard]] std::size_t original_count() const { return originals_; }
 
  private:
   std::vector<PlannedProbe> probes_;
   util::Duration gap_ = util::Duration::nanos(0);
   util::Duration span_ = util::Duration::nanos(0);
+  util::Duration last_at_ = util::Duration::nanos(0);
+  std::size_t originals_ = 0;
 };
 
 }  // namespace odns::scan

@@ -6,8 +6,10 @@ namespace odns::scan {
 
 StreamingCorrelator::StreamingCorrelator(const std::vector<SentProbe>& probes,
                                          util::Duration timeout,
-                                         ScannerStats& stats)
-    : probes_(&probes), timeout_(timeout), stats_(&stats) {
+                                         ScannerStats& stats,
+                                         util::Duration retry_extension)
+    : probes_(&probes), timeout_(timeout), extension_(retry_extension),
+      stats_(&stats) {
   // Verify the TupleSequencer pattern once (O(n), allocation-free): the
   // plane is the port-space width, txids start at 1 and advance per
   // wrap. Conformant plans get the arithmetic inverse; anything else
@@ -80,14 +82,16 @@ void StreamingCorrelator::consume(RawResponse&& rec) {
     return;
   }
   const SentProbe& probe = (*probes_)[idx];
-  if (rec.at - probe.sent_at > timeout_) {
+  const util::Duration age = rec.at - probe.sent_at;
+  if (age > timeout_ + extension_) {
     ++stats_->responses_late;
     return;
   }
-  // In-window responses can only reference probes not yet finalized:
-  // finalization requires sent_at + timeout <= watermark, and every
-  // record consumed after that has at > watermark. (The guard keeps
-  // adversarial non-plan tuple collisions from corrupting the window.)
+  // In-(extended-)window responses can only reference probes not yet
+  // finalized: finalization requires sent_at + timeout + extension <=
+  // watermark, and every record consumed after that has at >
+  // watermark. (The guard keeps adversarial non-plan tuple collisions
+  // from corrupting the window.)
   assert(idx >= base_);
   if (idx < base_) {
     ++stats_->responses_late;
@@ -100,7 +104,14 @@ void StreamingCorrelator::consume(RawResponse&& rec) {
   }
   PendingTxn& slot = window_[off];
   if (slot.answered) {
-    ++stats_->responses_duplicate;
+    // Same straggler rule as correlate_capture: duplicates within the
+    // original window, late past it (e.g. the original's answer after
+    // a retry already concluded the probe).
+    if (age > timeout_) {
+      ++stats_->responses_late;
+    } else {
+      ++stats_->responses_duplicate;
+    }
     return;
   }
   slot.answered = true;
@@ -134,7 +145,7 @@ void StreamingCorrelator::emit_front(const Sink& sink) {
 
 void StreamingCorrelator::advance(util::SimTime watermark, const Sink& sink) {
   while (base_ < probes_->size() &&
-         (*probes_)[base_].sent_at + timeout_ <= watermark) {
+         (*probes_)[base_].sent_at + timeout_ + extension_ <= watermark) {
     emit_front(sink);
   }
 }

@@ -36,8 +36,13 @@ class StreamingCorrelator {
   /// `probes` must outlive the correlator and stay unchanged during
   /// streaming. Correlation statistics (unmatched/late/duplicate)
   /// accumulate into `stats`, mirroring correlate_capture().
+  /// `retry_extension` (ScanConfig::retry_extension()) widens the
+  /// accept window for unanswered probes exactly as in
+  /// correlate_capture — and with it each probe's finalization
+  /// watermark, so a last-retry answer is never finalized away.
   StreamingCorrelator(const std::vector<SentProbe>& probes,
-                      util::Duration timeout, ScannerStats& stats);
+                      util::Duration timeout, ScannerStats& stats,
+                      util::Duration retry_extension = util::Duration::nanos(0));
 
   /// Feeds one captured record. Records must arrive in the merged
   /// (time, vantage, seq) order, and only up to the watermark of the
@@ -86,6 +91,9 @@ class StreamingCorrelator {
 
   const std::vector<SentProbe>* probes_;
   util::Duration timeout_;
+  /// Retry widening of the accept/finalization window (zero without
+  /// retransmissions — the classic behaviour).
+  util::Duration extension_;
   ScannerStats* stats_;
 
   // Arithmetic tuple inverse: probe i carries port base_port_ + (i %

@@ -15,7 +15,11 @@ TransactionalScanner::TransactionalScanner(netsim::Simulator& sim,
 }
 
 void TransactionalScanner::send_planned(const PlannedProbe& probe) {
-  ++stats_.probes_sent;
+  if (probe.attempt == 0) {
+    ++stats_.probes_sent;
+  } else {
+    ++stats_.probes_retried;
+  }
   last_send_at_ = sim_->now();
 
   const dnswire::Name qname = cfg_.qname_for_target
@@ -33,13 +37,17 @@ void TransactionalScanner::send_planned(const PlannedProbe& probe) {
 void TransactionalScanner::start(const std::vector<util::Ipv4>& targets) {
   plan_ = VantagePlan::build(*sim_, cfg_, targets);
   const util::SimTime t0 = sim_->now();
-  probes_.reserve(probes_.size() + plan_.probes().size());
+  probes_.reserve(probes_.size() + plan_.original_count());
   for (std::size_t i = 0; i < plan_.probes().size(); ++i) {
     const PlannedProbe& p = plan_.probes()[i];
-    // The probe table is materialized from the plan: timers fire at
-    // exactly their scheduled instants, so the planned send time is
-    // the sent_at the classic scanner would have recorded.
-    probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
+    // The probe table is materialized from the attempt-0 plan prefix:
+    // timers fire at exactly their scheduled instants, so the planned
+    // send time is the sent_at the classic scanner would have
+    // recorded. Retransmission entries share their original's tuple
+    // and are represented by it — they schedule sends, never rows.
+    if (p.attempt == 0) {
+      probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
+    }
     // Shard-affine pacing: start() runs outside the event loop, so the
     // timers must land on the shard owning the scanner host.
     sim_->schedule_timer_on(host_, p.at, this, i);
@@ -63,7 +71,8 @@ void TransactionalScanner::on_datagram(const netsim::Datagram& dgram) {
 }
 
 std::vector<Transaction> TransactionalScanner::correlate() {
-  return correlate_capture(probes_, capture_, cfg_.timeout, stats_);
+  return correlate_capture(probes_, capture_, cfg_.timeout, stats_,
+                           cfg_.retry_extension());
 }
 
 }  // namespace odns::scan

@@ -39,6 +39,29 @@ struct ScanConfig {
   /// count, interleaved or not — this only changes which targets are
   /// adjacent in time. Off by default to preserve the classic order.
   bool shard_interleave = false;
+  /// Per-probe retransmission (zmap -P style, unconditional): every
+  /// probe is re-sent `max_retries` times at exponential-backoff
+  /// offsets — backoff_base * (2^k - 1) after the original send — with
+  /// the SAME (port, TXID) tuple. Retries never consult response
+  /// state: a cancel-on-answer policy would depend on which vantage
+  /// saw the answer first, which depends on the shard count, so the
+  /// plan stays shard- and vantage-count-invariant and the correlators
+  /// dedup by tuple instead (first in-window response wins, later ones
+  /// count as duplicates).
+  std::uint32_t max_retries = 0;
+  util::Duration backoff_base = util::Duration::seconds(1);
+  /// How far past the original timeout window an answer can still
+  /// legitimately arrive: the last retry leaves backoff_base *
+  /// (2^max_retries - 1) after the original, and its response gets the
+  /// full timeout. Both correlators widen their match window by this
+  /// much for *unanswered* probes (answered probes keep the original
+  /// window — stragglers past it count late, see ScannerStats).
+  [[nodiscard]] util::Duration retry_extension() const {
+    return max_retries == 0
+               ? util::Duration::nanos(0)
+               : backoff_base *
+                     static_cast<std::int64_t>((1ull << max_retries) - 1);
+  }
 };
 
 struct SentProbe {
@@ -92,21 +115,33 @@ struct Transaction {
 
 struct ScannerStats {
   std::uint64_t probes_sent = 0;
+  /// Retransmissions on top of probes_sent (ScanConfig::max_retries).
+  std::uint64_t probes_retried = 0;
   std::uint64_t responses_received = 0;
   std::uint64_t responses_unmatched = 0;  // no (port, txid) probe
-  std::uint64_t responses_duplicate = 0;  // probe already answered
-  std::uint64_t responses_late = 0;       // after the timeout window
+  std::uint64_t responses_duplicate = 0;  // probe already answered,
+                                          // within the original window
+  /// Stragglers: responses past the original timeout window — whether
+  /// the probe was never answered, or a retry already concluded it and
+  /// the original's answer limped in afterwards.
+  std::uint64_t responses_late = 0;
   std::uint64_t parse_errors = 0;
+  /// Captured payloads that failed to decode as DNS — the corrupted-
+  /// wire subset of parse_errors (every undecodable capture counts in
+  /// both; parse_errors remains the classic total).
+  std::uint64_t responses_corrupt = 0;
   std::uint64_t icmp_errors = 0;
 
   /// Field-wise sum — aggregates per-vantage statistics.
   ScannerStats& operator+=(const ScannerStats& o) {
     probes_sent += o.probes_sent;
+    probes_retried += o.probes_retried;
     responses_received += o.responses_received;
     responses_unmatched += o.responses_unmatched;
     responses_duplicate += o.responses_duplicate;
     responses_late += o.responses_late;
     parse_errors += o.parse_errors;
+    responses_corrupt += o.responses_corrupt;
     icmp_errors += o.icmp_errors;
     return *this;
   }

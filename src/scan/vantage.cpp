@@ -27,7 +27,11 @@ class CaptureVantage final : public netsim::App, public netsim::TimerTarget {
   void on_timer(std::uint64_t probe_index, std::uint64_t) override {
     const PlannedProbe& probe = owner_->plan_.probes()[probe_index];
     auto& sim = *owner_->sim_;
-    ++stats_.probes_sent;
+    if (probe.attempt == 0) {
+      ++stats_.probes_sent;
+    } else {
+      ++stats_.probes_retried;
+    }
     const ScanConfig& cfg = owner_->cfg_;
     const dnswire::Name qname = cfg.qname_for_target
                                     ? cfg.qname_for_target(probe.target)
@@ -92,27 +96,33 @@ void VantageSet::start(const std::vector<util::Ipv4>& targets) {
     member_of_host.emplace(members_[j]->host(), j);
   }
   const auto& net = sim_->net();
-  probes_.reserve(probes_.size() + plan_.probes().size());
-  sender_.reserve(sender_.size() + plan_.probes().size());
+  probes_.reserve(probes_.size() + plan_.original_count());
+  sender_.reserve(sender_.size() + plan_.original_count());
   for (std::size_t i = 0; i < plan_.probes().size(); ++i) {
     const PlannedProbe& p = plan_.probes()[i];
-    probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
+    // Retransmission entries (attempt > 0) reuse their original's
+    // (port, txid) tuple and target, so they add sends but no probe
+    // rows: the original row represents the transaction.
+    if (p.attempt == 0) {
+      probes_.push_back(SentProbe{p.target, p.src_port, p.txid, t0 + p.at});
+    }
     // Shard-local pacing: the member pinned to the shard that owns the
     // probed target paces and injects the probe, so the probe leg and
     // its direct response never cross the shard fabric. Targets without
     // a unicast owner (anycast groups) pace from the shard-0 member.
+    // Retries share the original's target, hence the same member.
     const netsim::HostId owner_host = net.unicast_owner(p.target);
     const std::uint32_t shard =
         owner_host == netsim::kInvalidHost ? 0 : sim_->shard_of(owner_host);
     const netsim::HostId member_host = sim_->vantage_member_for_shard(shard);
     const std::uint32_t member = member_of_host.at(member_host);
-    sender_.push_back(member);
+    if (p.attempt == 0) sender_.push_back(member);
     sim_->schedule_timer_on(member_host, p.at, members_[member].get(), i);
   }
   // Timers fire at exactly their planned instants, so the last send
   // lands at the last plan offset (start time for an empty plan) — the
   // value the classic scanner records after its sends complete.
-  last_send_at_ = plan_.probes().empty() ? t0 : t0 + plan_.probes().back().at;
+  last_send_at_ = plan_.probes().empty() ? t0 : t0 + plan_.last_at();
 }
 
 void VantageSet::run_to_completion() {
@@ -144,7 +154,8 @@ ScannerStats VantageSet::stats() const {
 std::vector<Transaction> VantageSet::correlate() {
   const std::vector<RawResponse> merged = merged_capture();
   std::vector<Transaction> out =
-      correlate_capture(probes_, merged, cfg_.timeout, correlate_stats_);
+      correlate_capture(probes_, merged, cfg_.timeout, correlate_stats_,
+                        cfg_.retry_extension());
   for (std::size_t i = 0; i < out.size(); ++i) {
     if (!out[i].answered) out[i].vantage = sender_[i];
   }
@@ -187,7 +198,8 @@ void VantageSet::flush_capture(util::SimTime cutoff, StreamingCorrelator& corr,
 VantageSet::StreamStats VantageSet::run_and_correlate_streaming(
     util::Duration flush_interval, const TxnSink& sink) {
   assert(flush_interval > util::Duration::nanos(0));
-  StreamingCorrelator corr(probes_, cfg_.timeout, correlate_stats_);
+  StreamingCorrelator corr(probes_, cfg_.timeout, correlate_stats_,
+                           cfg_.retry_extension());
   StreamStats st;
   st.dense_lookup = corr.dense_lookup();
   const TxnSink wrapped = [&](std::size_t i, Transaction&& txn) {
