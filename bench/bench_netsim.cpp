@@ -70,7 +70,9 @@
 //
 // Exits 1 on a determinism violation, 2 when any workload's speedup
 // falls below --min-speedup (CI's loud perf-regression gate), 3 when
-// the full-scale census world misses its ≥10⁶-host / ≥10⁴-AS floors.
+// the full-scale census world misses its ≥10⁶-host / ≥10⁴-AS floors,
+// 4 when a recorded peak RSS exceeds --max-rss-regression kB (CI's
+// loud memory-regression gate).
 
 #include <algorithm>
 #include <chrono>
@@ -117,6 +119,11 @@ struct Opts {
   std::uint32_t shards = 4;
   std::string json_path;
   double min_speedup = 0.0;
+  /// Loud memory-regression gate: when > 0, any workload that records
+  /// a peak RSS above this many kB fails the run (exit 4). CI smoke
+  /// passes the ceiling matching its --census-scale so the recorded
+  /// peak_rss_kb cannot silently creep back up.
+  std::uint64_t max_rss_regression_kb = 0;
   /// Topology scale of the million_host_census row. The default builds
   /// the full ≥10⁶-host / ≥10⁴-AS world (the recorded BENCH row); CI
   /// smoke caps it (e.g. 0.047 ≈ 10⁵ hosts) to stay inside the job
@@ -149,12 +156,16 @@ struct Opts {
         o.json_path = val("--json=");
       } else if (arg.rfind("--min-speedup=", 0) == 0) {
         o.min_speedup = std::atof(val("--min-speedup="));
+      } else if (arg.rfind("--max-rss-regression=", 0) == 0) {
+        o.max_rss_regression_kb =
+            std::strtoull(val("--max-rss-regression="), nullptr, 10);
       } else if (arg.rfind("--census-scale=", 0) == 0) {
         o.census_scale = std::atof(val("--census-scale="));
       } else {
         std::cout << "usage: bench_netsim [--packets=N] [--ases=N] "
                      "[--hops=N] [--dests=N] [--seed=N] [--shards=N] "
-                     "[--json=FILE] [--min-speedup=F] [--census-scale=F]\n";
+                     "[--json=FILE] [--min-speedup=F] "
+                     "[--max-rss-regression=KB] [--census-scale=F]\n";
         std::exit(arg == "--help" ? 0 : 64);
       }
     }
@@ -297,6 +308,47 @@ RunResult run_workload(const Opts& opts, bool anycast, bool cached,
   r.counters = sim.counters();
   r.cache_stats = sim.net().route_cache_stats();
   hash_routes(sim, w.targets, r);
+  return r;
+}
+
+/// Address-plane lookup surface (the per-delivery addr→host step): a
+/// dense 2^17-host population spread over the ring, resolved in a
+/// strided (cache-hostile, packet-stream-like) order. The A/B flips
+/// Network's lookup structure — flat sorted table vs. the legacy
+/// unordered_map — on the same interned address pool; owners must be
+/// identical element for element (hashed into the determinism check).
+RunResult run_addr_plane_workload(const Opts& opts, bool flat, bool /*traced*/,
+                                  std::uint64_t lookups) {
+  constexpr std::uint32_t kLookupHosts = 1u << 17;
+  World w = build_world(opts, /*anycast=*/false);
+  auto& net = w.sim->net();
+  std::vector<Ipv4> addrs;
+  addrs.reserve(kLookupHosts);
+  for (std::uint32_t i = 0; i < kLookupHosts; ++i) {
+    // 172.16/12 private space: disjoint from build_world's 10/8 hosts
+    // and the 100.64/10 router pool.
+    const Ipv4 addr{(172u << 24) | (16u << 20) | i};
+    (void)net.add_host(2 + i % (opts.ases - 1), {addr});
+    addrs.push_back(addr);
+  }
+  net.set_flat_addr_plane_enabled(flat);
+  net.freeze_addr_plane();
+
+  RunResult r;
+  std::uint64_t h = kFnvBasis;
+  std::size_t idx = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t p = 0; p < lookups; ++p) {
+    idx += 48271;  // co-prime stride: successive probes never adjacent
+    if (idx >= kLookupHosts) idx -= kLookupHosts;
+    const HostId owner = net.resolve_destination(
+        addrs[idx], static_cast<Asn>(2 + p % (opts.ases - 1)));
+    h = fnv1a64(h, owner);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.trace_hash = h;
+  r.route_hash = h;
   return r;
 }
 
@@ -746,6 +798,14 @@ WorkloadReport bench_workload(const Opts& opts, const std::string& name,
       });
   rep.has_cache_stats = true;
   return rep;
+}
+
+WorkloadReport bench_addr_plane_workload(const Opts& opts) {
+  return ab_workload(
+      opts, "addr_plane_lookup", "hash_map", "flat_table",
+      [&](bool fast, bool traced, std::uint64_t packets) {
+        return run_addr_plane_workload(opts, /*flat=*/fast, traced, packets);
+      });
 }
 
 WorkloadReport bench_sched_workload(const Opts& opts, const std::string& name,
@@ -1698,6 +1758,7 @@ int main(int argc, char** argv) {
   reps.push_back(bench_workload(opts, "repeated_destination_scan",
                                 /*anycast=*/false));
   reps.push_back(bench_workload(opts, "mixed_anycast", /*anycast=*/true));
+  reps.push_back(bench_addr_plane_workload(opts));
   reps.push_back(bench_sched_workload(opts, "sched_burst_same_timestamp",
                                       /*timer_mix=*/false));
   reps.push_back(bench_sched_workload(opts, "sched_long_horizon_timer_mix",
@@ -1728,6 +1789,15 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: " << r.name << " speedup " << r.speedup
                 << "x below required " << opts.min_speedup << "x\n";
       return 2;
+    }
+  }
+  for (const auto& r : reps) {
+    if (opts.max_rss_regression_kb > 0 && r.peak_rss_kb > 0 &&
+        r.peak_rss_kb > opts.max_rss_regression_kb) {
+      std::cerr << "FAIL: " << r.name << " peak RSS " << r.peak_rss_kb
+                << " kB above the --max-rss-regression ceiling "
+                << opts.max_rss_regression_kb << " kB\n";
+      return 4;
     }
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "netsim/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <deque>
 #include <limits>
@@ -14,6 +15,23 @@ namespace {
 constexpr util::Ipv4 kRouterPoolBase{100, 64, 0, 1};
 constexpr std::uint32_t kRouterPoolLimit =
     (std::uint32_t{100} << 24 | 128u << 16) - 1;  // end of 100.64/10
+constexpr std::uint32_t kNoRouterOwner = 0xFFFFFFFFu;
+
+// Tail merge threshold. Below it, adds are duplicate-checked eagerly
+// (binary search of the frozen table + a linear tail scan) and lookups
+// scan the tail; above it — a bulk build in progress — both defer to
+// the sort in freeze_addr_plane(), which detects duplicates as sorted
+// neighbours. Bulk population therefore costs one O(n log n) sort
+// total instead of a per-add structure update.
+constexpr std::size_t kAddrTailMerge = 1024;
+
+// Fibonacci-multiplicative hash for the open-addressed probe index;
+// the top bits index the power-of-2 slot array (shift = 64 - log2 cap).
+constexpr std::size_t addr_slot_home(util::Ipv4 addr, std::uint32_t shift) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(addr.value()) * 0x9E3779B97F4A7C15ull) >>
+      shift);
+}
 }  // namespace
 
 Network::Network() : next_router_ip_(kRouterPoolBase) {}
@@ -32,7 +50,8 @@ AsInfo& Network::add_as(const AsConfig& cfg) {
   if (asn_to_index_.contains(cfg.asn)) {
     throw std::invalid_argument("duplicate ASN " + std::to_string(cfg.asn));
   }
-  asn_to_index_.emplace(cfg.asn, static_cast<std::uint32_t>(ases_.size()));
+  const auto as_idx = static_cast<std::uint32_t>(ases_.size());
+  asn_to_index_.emplace(cfg.asn, as_idx);
   asn_order_.push_back(cfg.asn);
   auto& info = ases_.emplace_back();
   info.cfg = cfg;
@@ -40,7 +59,9 @@ AsInfo& Network::add_as(const AsConfig& cfg) {
   for (int i = 0; i < cfg.internal_hops; ++i) {
     auto ip = allocate_router_ip();
     info.router_ips.push_back(ip);
-    router_ip_owner_.emplace(ip, cfg.asn);
+    // Sequential allocation keeps the owner table dense: the slot for
+    // `ip` is exactly the next one.
+    router_owner_.push_back(as_idx);
   }
   ++graph_epoch_;
   bump_epoch();
@@ -74,19 +95,53 @@ void Network::announce(Asn asn, Prefix4 prefix) {
   bump_epoch();
 }
 
-HostId Network::add_host(Asn asn, std::vector<util::Ipv4> addrs) {
+void Network::index_address(util::Ipv4 addr, HostId id) {
+  if (!flat_addr_plane_) {
+    auto [it, inserted] = addr_to_host_.emplace(addr, id);
+    if (!inserted) {
+      throw std::invalid_argument("address already assigned: " + addr.to_string());
+    }
+    return;
+  }
+  if (addr_tail_.size() < kAddrTailMerge) {
+    // Affordable eager duplicate check; past the threshold (bulk
+    // build) it is deferred to the freeze-time sort.
+    bool dup = frozen_owner(addr) != kInvalidHost;
+    for (const auto& [a, h] : addr_tail_) dup = dup || a == addr;
+    if (dup) {
+      throw std::invalid_argument("address already assigned: " + addr.to_string());
+    }
+  }
+  addr_tail_.emplace_back(addr, id);
+}
+
+HostId Network::add_host(Asn asn, std::span<const util::Ipv4> addrs) {
   auto* info = find_as_mutable(asn);
   if (info == nullptr) throw std::invalid_argument("add_host: unknown ASN");
   const auto id = static_cast<HostId>(hosts_.size());
   auto& h = hosts_.emplace_back();
   h.id = id;
   h.asn = asn;
-  h.addrs = std::move(addrs);
-  for (auto a : h.addrs) {
-    auto [it, inserted] = addr_to_host_.emplace(a, id);
-    if (!inserted) {
-      throw std::invalid_argument("address already assigned: " + a.to_string());
+  h.addr_off = static_cast<std::uint32_t>(addr_pool_.size());
+  h.addr_count = static_cast<std::uint32_t>(addrs.size());
+  addr_pool_.insert(addr_pool_.end(), addrs.begin(), addrs.end());
+  try {
+    for (auto a : addrs) index_address(a, id);
+  } catch (...) {
+    // Keep the strong guarantee the map-based plane offered: a
+    // duplicate address leaves no phantom host behind.
+    addr_pool_.resize(h.addr_off);
+    hosts_.pop_back();
+    while (!addr_tail_.empty() && addr_tail_.back().second == id) {
+      addr_tail_.pop_back();
     }
+    for (auto a : addrs) {
+      if (auto it = addr_to_host_.find(a);
+          it != addr_to_host_.end() && it->second == id) {
+        addr_to_host_.erase(it);
+      }
+    }
+    throw;
   }
   info->hosts.push_back(id);
   bump_epoch();
@@ -94,16 +149,33 @@ HostId Network::add_host(Asn asn, std::vector<util::Ipv4> addrs) {
 }
 
 void Network::add_host_address(HostId id, util::Ipv4 addr) {
-  auto [it, inserted] = addr_to_host_.emplace(addr, id);
-  if (!inserted) {
-    throw std::invalid_argument("address already assigned: " + addr.to_string());
+  index_address(addr, id);
+  Host& h = hosts_[id];
+  if (h.addr_off + h.addr_count == addr_pool_.size()) {
+    // Host owns the pool's end — extend its span in place.
+    addr_pool_.push_back(addr);
+  } else {
+    // Relocate the host's span to the end (leaves a small hole; this
+    // path only runs for interactive post-construction edits).
+    const auto new_off = static_cast<std::uint32_t>(addr_pool_.size());
+    for (std::uint32_t i = 0; i < h.addr_count; ++i) {
+      addr_pool_.push_back(addr_pool_[h.addr_off + i]);
+    }
+    addr_pool_.push_back(addr);
+    h.addr_off = new_off;
   }
-  hosts_[id].addrs.push_back(addr);
+  ++h.addr_count;
   bump_epoch();
 }
 
 void Network::join_anycast(util::Ipv4 addr, HostId host) {
-  anycast_[addr].push_back(host);
+  // Insert before the first entry of a greater address: groups stay
+  // sorted by address while members keep insertion order (the
+  // nearest-PoP tie-break).
+  const auto it = std::upper_bound(
+      anycast_.begin(), anycast_.end(), addr,
+      [](util::Ipv4 a, const auto& e) { return a < e.first; });
+  anycast_.emplace(it, addr, host);
   bump_epoch();
 }
 
@@ -123,13 +195,79 @@ std::size_t Network::as_index(Asn asn) const {
   return it->second;
 }
 
+void Network::freeze_addr_plane() const {
+  if (addr_tail_.empty()) return;
+  addr_index_.insert(addr_index_.end(), addr_tail_.begin(), addr_tail_.end());
+  addr_tail_.clear();
+  addr_tail_.shrink_to_fit();
+  std::sort(addr_index_.begin(), addr_index_.end());
+  for (std::size_t i = 1; i < addr_index_.size(); ++i) {
+    if (addr_index_[i].first == addr_index_[i - 1].first) {
+      // Bulk adds past the tail threshold defer their duplicate check
+      // to this sort (same contract, detected at freeze).
+      throw std::invalid_argument("address already assigned: " +
+                                  addr_index_[i].first.to_string());
+    }
+  }
+  addr_freeze_epoch_ = epoch_;
+  rebuild_addr_slots();
+}
+
+void Network::rebuild_addr_slots() const {
+  // Capacity ≥ 2× entries keeps the load factor at or below 0.5, so a
+  // probe chain is 1.5 slots on average — one expected cache miss per
+  // point lookup, which is where the flat plane beats both the binary
+  // search (log n misses) and the node-based map (pointer chase).
+  std::size_t cap = std::bit_ceil(
+      std::max<std::size_t>(16, addr_index_.size() * 2));
+  addr_slots_.assign(cap, {util::Ipv4{}, kInvalidHost});
+  addr_slots_shift_ =
+      64u - static_cast<std::uint32_t>(std::countr_zero(cap));
+  const std::size_t mask = cap - 1;
+  for (const auto& entry : addr_index_) {
+    std::size_t slot = addr_slot_home(entry.first, addr_slots_shift_);
+    while (addr_slots_[slot].second != kInvalidHost) {
+      slot = (slot + 1) & mask;
+    }
+    addr_slots_[slot] = entry;
+  }
+}
+
+HostId Network::frozen_owner(util::Ipv4 addr) const {
+  if (addr_slots_.empty()) return kInvalidHost;
+  const std::size_t mask = addr_slots_.size() - 1;
+  std::size_t slot = addr_slot_home(addr, addr_slots_shift_);
+  // Emptiness is flagged by the host sentinel alone, never by the
+  // address value — 0.0.0.0 is a legal (if odd) probe target.
+  while (addr_slots_[slot].second != kInvalidHost) {
+    if (addr_slots_[slot].first == addr) return addr_slots_[slot].second;
+    slot = (slot + 1) & mask;
+  }
+  return kInvalidHost;
+}
+
 HostId Network::unicast_owner(util::Ipv4 addr) const {
-  auto it = addr_to_host_.find(addr);
-  return it == addr_to_host_.end() ? kInvalidHost : it->second;
+  if (!flat_addr_plane_) {
+    auto it = addr_to_host_.find(addr);
+    return it == addr_to_host_.end() ? kInvalidHost : it->second;
+  }
+  if (!addr_tail_.empty()) {
+    if (addr_tail_.size() >= kAddrTailMerge) {
+      freeze_addr_plane();
+    } else {
+      for (const auto& [a, h] : addr_tail_) {
+        if (a == addr) return h;
+      }
+    }
+  }
+  return frozen_owner(addr);
 }
 
 bool Network::is_anycast(util::Ipv4 addr) const {
-  return anycast_.contains(addr);
+  const auto it = std::lower_bound(
+      anycast_.begin(), anycast_.end(), addr,
+      [](const auto& e, util::Ipv4 a) { return e.first < a; });
+  return it != anycast_.end() && it->first == addr;
 }
 
 HostId Network::resolve_destination(util::Ipv4 addr, Asn from_as) const {
@@ -138,16 +276,19 @@ HostId Network::resolve_destination(util::Ipv4 addr, Asn from_as) const {
 
 HostId Network::resolve_destination(RouteCache& cache, util::Ipv4 addr,
                                     Asn from_as) const {
-  if (auto it = anycast_.find(addr); it != anycast_.end()) {
+  const auto first = std::lower_bound(
+      anycast_.begin(), anycast_.end(), addr,
+      [](const auto& e, util::Ipv4 a) { return e.first < a; });
+  if (first != anycast_.end() && first->first == addr) {
     // Nearest-PoP selection: the anycast member whose AS is fewest AS
     // hops from the source, ties broken by member order (deterministic).
     HostId best = kInvalidHost;
     int best_dist = std::numeric_limits<int>::max();
-    for (HostId member : it->second) {
-      const int d = as_distance(cache, from_as, hosts_[member].asn);
+    for (auto it = first; it != anycast_.end() && it->first == addr; ++it) {
+      const int d = as_distance(cache, from_as, hosts_[it->second].asn);
       if (d >= 0 && d < best_dist) {
         best_dist = d;
-        best = member;
+        best = it->second;
       }
     }
     return best;
@@ -156,9 +297,12 @@ HostId Network::resolve_destination(RouteCache& cache, util::Ipv4 addr,
 }
 
 std::optional<Asn> Network::router_owner(util::Ipv4 addr) const {
-  auto it = router_ip_owner_.find(addr);
-  if (it == router_ip_owner_.end()) return std::nullopt;
-  return it->second;
+  if (addr.value() < kRouterPoolBase.value()) return std::nullopt;
+  const std::uint32_t slot = addr.value() - kRouterPoolBase.value();
+  if (slot >= router_owner_.size()) return std::nullopt;
+  const std::uint32_t as_idx = router_owner_[slot];
+  if (as_idx == kNoRouterOwner) return std::nullopt;
+  return ases_[as_idx].cfg.asn;
 }
 
 bool Network::owns_source(const AsInfo& info, util::Ipv4 src) {
@@ -174,8 +318,20 @@ bool Network::source_is_legitimate(Asn asn, util::Ipv4 src) const {
 
 const RouteCache::BfsEntry& Network::bfs_for(RouteCache& cache,
                                              Asn src) const {
-  auto& entry = cache.bfs[src];
-  if (entry.graph_epoch == graph_epoch_) return entry;
+  auto [bfs_it, bfs_inserted] = cache.bfs.try_emplace(src);
+  auto& entry = bfs_it->second;
+  if (!bfs_inserted && entry.graph_epoch == graph_epoch_) return entry;
+  if (bfs_inserted) {
+    // FIFO bound: evict the oldest source AS once over the cap. Only
+    // scratch is dropped — route/span entries derived from it stay
+    // cached — and a re-missed source recomputes identically.
+    cache.bfs_order.push_back(src);
+    while (cache.bfs.size() > RouteCache::kMaxBfsEntries) {
+      const Asn victim = cache.bfs_order.front();
+      cache.bfs_order.pop_front();
+      if (victim != src) cache.bfs.erase(victim);
+    }
+  }
 
   constexpr auto kUnreached = std::numeric_limits<std::uint16_t>::max();
   entry.graph_epoch = graph_epoch_;
@@ -311,12 +467,51 @@ std::optional<Route> Network::route_from_as(Asn from, util::Ipv4 dst) const {
   return r;
 }
 
-std::vector<std::pair<Prefix4, Asn>> Network::announced_prefixes() const {
-  std::vector<std::pair<Prefix4, Asn>> out;
-  for (const auto& info : ases_) {
-    for (const auto& p : info.owned) out.emplace_back(p, info.cfg.asn);
+const std::vector<std::pair<Prefix4, Asn>>& Network::announced_prefixes()
+    const {
+  if (announced_epoch_ != epoch_) {
+    announced_cache_.clear();
+    for (const auto& info : ases_) {
+      for (const auto& p : info.owned) {
+        announced_cache_.emplace_back(p, info.cfg.asn);
+      }
+    }
+    announced_epoch_ = epoch_;
   }
-  return out;
+  return announced_cache_;
+}
+
+void Network::set_flat_addr_plane_enabled(bool enabled) {
+  if (enabled == flat_addr_plane_) return;
+  flat_addr_plane_ = enabled;
+  rebuild_addr_plane();
+}
+
+void Network::rebuild_addr_plane() {
+  addr_index_.clear();
+  addr_tail_.clear();
+  addr_to_host_.clear();
+  if (flat_addr_plane_) {
+    addr_index_.reserve(addr_pool_.size());
+    for (const Host& h : hosts_) {
+      for (std::uint32_t i = 0; i < h.addr_count; ++i) {
+        addr_index_.emplace_back(addr_pool_[h.addr_off + i], h.id);
+      }
+    }
+    std::sort(addr_index_.begin(), addr_index_.end());
+    addr_freeze_epoch_ = epoch_;
+    rebuild_addr_slots();
+  } else {
+    addr_slots_.clear();
+    addr_slots_.shrink_to_fit();
+    addr_slots_shift_ = 0;
+    addr_to_host_.reserve(addr_pool_.size());
+    for (const Host& h : hosts_) {
+      for (std::uint32_t i = 0; i < h.addr_count; ++i) {
+        addr_to_host_.emplace(addr_pool_[h.addr_off + i], h.id);
+      }
+    }
+  }
 }
 
 }  // namespace odns::netsim

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,10 +50,16 @@ struct AsInfo {
   std::vector<HostId> hosts;
 };
 
+/// Hosts no longer own their addresses: `addr_off`/`addr_count` is a
+/// span into the Network's shared interned address pool
+/// (`Network::host_addrs` / `Network::primary_addr`). At million-host
+/// scale a per-host heap vector was the single largest world-build
+/// allocation class.
 struct Host {
   HostId id = kInvalidHost;
   Asn asn = 0;
-  std::vector<util::Ipv4> addrs;
+  std::uint32_t addr_off = 0;
+  std::uint32_t addr_count = 0;
 };
 
 /// Result of a route lookup: the ordered router hops between (but not
@@ -74,8 +81,20 @@ class Network {
   /// Registers a prefix as legitimately originated by `asn` (SAV scope
   /// and synthetic-Routeviews source).
   void announce(Asn asn, Prefix4 prefix);
-  HostId add_host(Asn asn, std::vector<util::Ipv4> addrs);
+  HostId add_host(Asn asn, std::span<const util::Ipv4> addrs);
+  HostId add_host(Asn asn, const std::vector<util::Ipv4>& addrs) {
+    return add_host(asn, std::span<const util::Ipv4>(addrs));
+  }
+  HostId add_host(Asn asn, std::initializer_list<util::Ipv4> addrs) {
+    return add_host(asn, std::span<const util::Ipv4>(addrs.begin(), addrs.size()));
+  }
   void add_host_address(HostId id, util::Ipv4 addr);
+  /// Sorts the unmerged address tail into the dense lookup table and
+  /// verifies address uniqueness (throws on duplicates, same contract
+  /// as add_host). Called automatically by the first lookup after a
+  /// mutation batch; bulk builders call it once after population so
+  /// the merge cost is paid off the packet path.
+  void freeze_addr_plane() const;
   /// Adds `host` as a member of the anycast group for `addr`. Lookups
   /// resolve to the member closest (AS hops) to the querying AS.
   void join_anycast(util::Ipv4 addr, HostId host);
@@ -83,6 +102,16 @@ class Network {
   // --- lookups -----------------------------------------------------
   [[nodiscard]] const Host& host(HostId id) const { return hosts_[id]; }
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  /// All addresses of `id`, as a view into the shared address pool.
+  /// Valid until the next add_host/add_host_address call.
+  [[nodiscard]] std::span<const util::Ipv4> host_addrs(HostId id) const {
+    const Host& h = hosts_[id];
+    return {addr_pool_.data() + h.addr_off, h.addr_count};
+  }
+  /// First (primary) address of `id`; the host must have one.
+  [[nodiscard]] util::Ipv4 primary_addr(HostId id) const {
+    return addr_pool_[hosts_[id].addr_off];
+  }
   [[nodiscard]] const AsInfo* find_as(Asn asn) const;
   [[nodiscard]] AsInfo* find_as_mutable(Asn asn);
   [[nodiscard]] const std::vector<Asn>& all_asns() const { return asn_order_; }
@@ -169,8 +198,23 @@ class Network {
   }
 
   /// All announced prefixes with their origin ASN (synthetic
-  /// Routeviews dump source).
-  [[nodiscard]] std::vector<std::pair<Prefix4, Asn>> announced_prefixes() const;
+  /// Routeviews dump source). Cached behind the topology epoch; the
+  /// returned reference is valid until the next mutation.
+  [[nodiscard]] const std::vector<std::pair<Prefix4, Asn>>& announced_prefixes()
+      const;
+
+  /// A/B switch for the addr→host lookup plane. Flat (default): a
+  /// sorted dense (addr, host) table frozen into an open-addressed
+  /// probe index (O(1)-amortized point lookups, one expected cache
+  /// miss), plus a small unsorted tail for post-freeze mutations.
+  /// Map: the pre-flat unordered_map baseline, kept for equivalence
+  /// differentials and the addr_plane_lookup bench. Switching rebuilds
+  /// the active structure from the shared address pool; lookup results
+  /// are identical in both modes.
+  void set_flat_addr_plane_enabled(bool enabled);
+  [[nodiscard]] bool flat_addr_plane_enabled() const {
+    return flat_addr_plane_;
+  }
 
  private:
   const RouteCache::BfsEntry& bfs_for(RouteCache& cache, Asn src) const;
@@ -191,14 +235,60 @@ class Network {
   const RouteCache::RouteEntry& lookup_route(RouteCache& cache, Asn from,
                                              util::Ipv4 dst) const;
 
+  /// Appends `addr` to the flat lookup structures (active mode only);
+  /// throws on duplicates when the check is affordable (see .cpp).
+  void index_address(util::Ipv4 addr, HostId id);
+  void rebuild_addr_plane();
+  /// Rebuilds the open-addressed probe index over addr_index_ (called
+  /// at the end of every freeze); O(1)-amortized frozen-table lookup.
+  void rebuild_addr_slots() const;
+  /// Probe-index point lookup over the frozen table only (the caller
+  /// handles the unsorted tail). kInvalidHost on miss.
+  [[nodiscard]] HostId frozen_owner(util::Ipv4 addr) const;
+
   std::vector<AsInfo> ases_;
   std::vector<Asn> asn_order_;
   std::unordered_map<Asn, std::uint32_t> asn_to_index_;
   std::vector<Host> hosts_;
-  std::unordered_map<util::Ipv4, HostId> addr_to_host_;
-  std::unordered_map<util::Ipv4, std::vector<HostId>> anycast_;
-  std::unordered_map<util::Ipv4, Asn> router_ip_owner_;
+
+  // --- flat interned address plane ---------------------------------
+  /// Every host address, contiguous per host (Host::addr_off/count).
+  std::vector<util::Ipv4> addr_pool_;
+  /// Sorted (addr, host) table: the frozen lookup surface. `mutable`
+  /// because freezing is lazy (first lookup after a mutation batch).
+  mutable std::vector<std::pair<util::Ipv4, HostId>> addr_index_;
+  /// Unsorted adds since the last freeze; merged into addr_index_ once
+  /// it outgrows kAddrTailMerge (or at the first lookup). Scanned
+  /// linearly meanwhile, so post-freeze adds stay cheap and correct.
+  mutable std::vector<std::pair<util::Ipv4, HostId>> addr_tail_;
+  /// Open-addressed linear-probe mirror of addr_index_, rebuilt at
+  /// each freeze: power-of-2 capacity ≥ 2× entries (load ≤ 0.5),
+  /// multiplicative hash, empty slots flagged by host == kInvalidHost.
+  /// This is what makes frozen lookups O(1)-amortized — the sorted
+  /// table stays the canonical surface for dup-checks and tail merges.
+  mutable std::vector<std::pair<util::Ipv4, HostId>> addr_slots_;
+  /// Right-shift applied to the 64-bit hash to index addr_slots_
+  /// (64 - log2(capacity)); 0 means the probe index is empty.
+  mutable std::uint32_t addr_slots_shift_ = 0;
+  /// topology_epoch() at the last freeze (diagnostic invariant: the
+  /// frozen table never goes stale because addresses are only added,
+  /// never removed — new ones sit in the tail until merged).
+  mutable std::uint64_t addr_freeze_epoch_ = 0;
+  /// Anycast membership, flattened: sorted by address, insertion order
+  /// preserved within a group (nearest-PoP ties break on it).
+  std::vector<std::pair<util::Ipv4, HostId>> anycast_;
+  /// AS index owning each router IP, dense over the sequential
+  /// 100.64/10 allocation (slot = addr - kRouterPoolBase).
+  std::vector<std::uint32_t> router_owner_;
+
+  // --- map-based A/B baseline --------------------------------------
+  bool flat_addr_plane_ = true;
+  std::unordered_map<util::Ipv4, HostId> addr_to_host_;  // map mode only
+
   util::Ipv4 next_router_ip_;
+
+  mutable std::vector<std::pair<Prefix4, Asn>> announced_cache_;
+  mutable std::uint64_t announced_epoch_ = 0;
 
   std::uint64_t epoch_ = 1;
   /// Bumped only by graph-shape mutations (add_as / link) — the only

@@ -20,6 +20,7 @@
 // caches, so no locking is needed anywhere on the per-packet path.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -64,10 +65,20 @@ class RouteCache {
     std::vector<std::uint32_t> parent;  // AS index of predecessor
   };
 
+  /// FIFO bound on live BFS entries. A BfsEntry is O(AS count) —
+  /// ~90 KB in a 15k-AS world — and route/span entries cache the
+  /// derived results, so the full per-source scratch is only needed on
+  /// span misses. Unbounded, "every forwarder AS ever probed" retains
+  /// O(ASes²) bytes (~1.3 GB at million-host scale); bounded, the hot
+  /// working set (concurrent probe lifetimes per shard) stays resident
+  /// and cold sources are recomputed deterministically on re-miss.
+  static constexpr std::size_t kMaxBfsEntries = 1024;
+
   void clear() {
     routes.clear();
     spans.clear();
     bfs.clear();
+    bfs_order.clear();
   }
 
   [[nodiscard]] const RouteCacheStats& cache_stats() const { return stats; }
@@ -79,8 +90,10 @@ class RouteCache {
   std::unordered_map<std::uint64_t, RouteEntry> routes;
   // (source AS index << 32 | destination AS index) -> hop span.
   std::unordered_map<std::uint64_t, SpanEntry> spans;
-  // source ASN -> BFS over the AS adjacency graph.
+  // source ASN -> BFS over the AS adjacency graph. Bounded by
+  // kMaxBfsEntries via bfs_order (insertion-order eviction).
   std::unordered_map<Asn, BfsEntry> bfs;
+  std::deque<Asn> bfs_order;
   // Scratch entry used when the cache is disabled (uncached baseline).
   RouteEntry scratch;
   RouteCacheStats stats;

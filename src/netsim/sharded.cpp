@@ -65,8 +65,12 @@ void Simulator::freeze_partition() {
   // ASes/hosts never reassigns existing ones (indices are append-only),
   // so a lazy re-freeze only extends.
   std::array<std::uint32_t, kVirtualShards> virt_to_real;
+  std::vector<std::uint64_t> load(n, 0);
   if (partition_load_hints_.empty() || n == 1) {
-    for (std::uint32_t v = 0; v < kVirtualShards; ++v) virt_to_real[v] = v % n;
+    for (std::uint32_t v = 0; v < kVirtualShards; ++v) {
+      virt_to_real[v] = v % n;
+      ++load[v % n];
+    }
   } else {
     std::array<std::uint32_t, kVirtualShards> order;
     for (std::uint32_t v = 0; v < kVirtualShards; ++v) order[v] = v;
@@ -78,7 +82,6 @@ void Simulator::freeze_partition() {
                      [&](std::uint32_t a, std::uint32_t b) {
                        return weight(a) > weight(b);
                      });
-    std::vector<std::uint64_t> load(n, 0);
     for (const std::uint32_t v : order) {
       std::uint32_t best = 0;
       for (std::uint32_t s = 1; s < n; ++s) {
@@ -95,14 +98,33 @@ void Simulator::freeze_partition() {
     as_shard_[i] = virt_to_real[i % kVirtualShards];
   }
   // Vantage capture members override the virtual layer: member j's AS
-  // is pinned to real shard j % n so the member the inject() override
-  // hands shard s's capture traffic to executes on shard s itself
-  // (see vantage_member_for_shard_). Each member AS holds only its
-  // capture host, so the pin moves no other state.
-  for (std::size_t j = 0; j < vantage_members_.size(); ++j) {
-    const Asn member_as = net_.host(vantage_members_[j]).asn;
-    as_shard_[net_.as_index(member_as)] =
-        static_cast<std::uint32_t>(j % n);
+  // is pinned to the j-th *lightest* real shard (partition load order,
+  // ties by lowest index), and the shard→member capture table is
+  // rebuilt to match, so the member that shard s's capture traffic is
+  // handed to still executes on shard s itself whenever the member
+  // count covers the shard count. Capture members are pure sinks —
+  // which member absorbs which shard's stream is unobservable — so the
+  // light-shard preference is execution-only; it just keeps the
+  // capture load off whatever shard the weighted LPT already loaded
+  // up. Each member AS holds only its capture host, so the pin moves
+  // no other state.
+  if (!vantage_members_.empty()) {
+    std::vector<std::uint32_t> light(n);
+    for (std::uint32_t s = 0; s < n; ++s) light[s] = s;
+    std::stable_sort(light.begin(), light.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return load[a] < load[b];
+                     });
+    vantage_member_for_shard_.resize(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      vantage_member_for_shard_[light[r]] =
+          vantage_members_[r % vantage_members_.size()];
+    }
+    for (std::size_t j = 0; j < vantage_members_.size(); ++j) {
+      const Asn member_as = net_.host(vantage_members_[j]).asn;
+      as_shard_[net_.as_index(member_as)] =
+          light[j % n];
+    }
   }
   host_shard_.resize(net_.host_count());
   for (std::size_t h = 0; h < host_shard_.size(); ++h) {
@@ -142,8 +164,11 @@ std::uint32_t Simulator::shard_of_as(Asn asn) const {
 std::uint32_t Simulator::virtual_shard_of(util::Ipv4 addr) const {
   const HostId h = net_.unicast_owner(addr);
   if (h == kInvalidHost) return 0;
-  return static_cast<std::uint32_t>(net_.as_index(net_.host(h).asn) %
-                                    kVirtualShards);
+  return virtual_shard_of_as(net_.host(h).asn);
+}
+
+std::uint32_t Simulator::virtual_shard_of_as(Asn asn) const {
+  return static_cast<std::uint32_t>(net_.as_index(asn) % kVirtualShards);
 }
 
 const ShardStats& Simulator::shard_stats(std::uint32_t shard) const {

@@ -144,9 +144,10 @@ void Simulator::set_vantage_capture(util::Ipv4 capture_addr,
   const auto n = shard_count();
   vantage_member_for_shard_.resize(n);
   for (std::uint32_t s = 0; s < n; ++s) {
-    // Member j is pinned to shard j % n at partition freeze, so this
-    // choice is shard-local whenever members.size() >= n (and lands on
-    // the member's own shard via the mailbox fabric otherwise).
+    // Provisional round-robin assignment; partition freeze rebuilds
+    // this table after pinning members to the lightest shards, keeping
+    // the choice shard-local whenever members.size() >= n (and landing
+    // on the member's own shard via the mailbox fabric otherwise).
     vantage_member_for_shard_[s] =
         vantage_members_[s % vantage_members_.size()];
   }
@@ -323,17 +324,16 @@ void Simulator::send_udp(HostId from, SendOptions opts) {
   // From inside a handler, sends must originate on the shard that owns
   // the sending host (apps always do — they run there).
   assert(tl_owner_ != this || tl_shard_ == nullptr || tl_shard_ == &sh);
-  const Host& h = net_.host(from);
-  assert(!h.addrs.empty());
+  assert(net_.host(from).addr_count > 0);
   Packet pkt;
-  pkt.src = opts.spoof_src.value_or(h.addrs.front());
+  pkt.src = opts.spoof_src.value_or(net_.primary_addr(from));
   pkt.dst = opts.dst;
   pkt.ttl = opts.ttl.value_or(cfg_.default_ttl);
   pkt.proto = Protocol::udp;
   pkt.src_port = opts.src_port;
   pkt.dst_port = opts.dst_port;
   pkt.payload = std::move(opts.payload);
-  inject(sh, std::move(pkt), h.asn, /*from_router=*/false);
+  inject(sh, std::move(pkt), net_.host(from).asn, /*from_router=*/false);
 }
 
 void Simulator::send_icmp(Shard& sh, IcmpType type, util::Ipv4 from,

@@ -258,6 +258,10 @@ class Simulator {
   /// keep every real shard busy for any real shard count without
   /// changing the probe order between shard counts.
   [[nodiscard]] std::uint32_t virtual_shard_of(util::Ipv4 addr) const;
+  /// Same partition group, keyed by the owning AS directly — lets bulk
+  /// world builders group hosts they are creating without paying (or
+  /// forcing an early freeze of) the addr→host lookup per address.
+  [[nodiscard]] std::uint32_t virtual_shard_of_as(Asn asn) const;
   [[nodiscard]] const ShardStats& shard_stats(std::uint32_t shard) const;
   [[nodiscard]] const SimCounters& shard_counters(std::uint32_t shard) const;
   [[nodiscard]] const RouteCacheStats& shard_route_cache_stats(

@@ -33,7 +33,7 @@ void StreamEndpoint::listen(std::uint16_t port) {
 
 ConnectionPtr StreamEndpoint::connect(util::Ipv4 addr, std::uint16_t port) {
   auto conn = std::make_shared<Connection>();
-  conn->local_addr = sim_->net().host(host_).addrs.front();
+  conn->local_addr = sim_->net().primary_addr(host_);
   conn->peer_addr = addr;
   conn->peer_port = port;
   conn->local_port = next_ephemeral_;

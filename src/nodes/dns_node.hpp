@@ -41,7 +41,7 @@ class DnsNode : public netsim::App {
 
   [[nodiscard]] netsim::HostId host() const { return host_; }
   [[nodiscard]] util::Ipv4 address() const {
-    return sim_->net().host(host_).addrs.front();
+    return sim_->net().primary_addr(host_);
   }
   [[nodiscard]] const NodeCounters& counters() const { return counters_; }
 

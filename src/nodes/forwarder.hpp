@@ -91,7 +91,7 @@ class TransparentForwarder {
 
   [[nodiscard]] netsim::HostId host() const { return host_; }
   [[nodiscard]] util::Ipv4 address() const {
-    return sim_->net().host(host_).addrs.front();
+    return sim_->net().primary_addr(host_);
   }
   [[nodiscard]] util::Ipv4 resolver() const { return resolver_; }
   [[nodiscard]] std::uint64_t relayed() const {

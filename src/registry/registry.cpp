@@ -1,6 +1,45 @@
 #include "registry/registry.hpp"
 
+#include <algorithm>
+
 namespace odns::registry {
+
+void FingerprintStore::add(util::Ipv4 addr, DeviceObservation obs) {
+  std::uint32_t profile = 0;
+  for (; profile < profiles_.size(); ++profile) {
+    if (profiles_[profile] == obs) break;
+  }
+  if (profile == profiles_.size()) profiles_.push_back(std::move(obs));
+  tail_.emplace_back(addr, profile);
+}
+
+void FingerprintStore::seal() const {
+  if (tail_.empty()) return;
+  index_.insert(index_.end(), tail_.begin(), tail_.end());
+  tail_.clear();
+  // Stable sort keeps insertion order within an address run, so
+  // keeping the *last* entry of each run preserves the overwrite
+  // semantics of the map this replaced.
+  std::stable_sort(index_.begin(), index_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto out = index_.begin();
+  for (auto it = index_.begin(); it != index_.end();) {
+    auto run_end = it + 1;
+    while (run_end != index_.end() && run_end->first == it->first) ++run_end;
+    *out++ = *(run_end - 1);
+    it = run_end;
+  }
+  index_.erase(out, index_.end());
+}
+
+const DeviceObservation* FingerprintStore::find(util::Ipv4 addr) const {
+  seal();
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), addr,
+      [](const auto& e, util::Ipv4 a) { return e.first < a; });
+  if (it == index_.end() || it->first != addr) return nullptr;
+  return &profiles_[it->second];
+}
 
 void RouteviewsTable::add(util::Prefix prefix, netsim::Asn origin) {
   auto& bucket = by_len_[static_cast<std::size_t>(prefix.length())];

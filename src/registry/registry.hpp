@@ -94,21 +94,40 @@ class AsRelationships {
 struct DeviceObservation {
   std::vector<std::uint16_t> open_ports;
   std::string product;  // banner-derived product string
+
+  friend bool operator==(const DeviceObservation&,
+                         const DeviceObservation&) = default;
 };
 
+/// Banner store with interned observations. Real-world scans see the
+/// same handful of vendor port-sets repeated across tens of thousands
+/// of devices, so storing one DeviceObservation per address is pure
+/// duplication. Instead distinct observations are interned once and
+/// addresses map to them through a flat sorted (addr, profile) table —
+/// O(bytes) per covered host drops from a map node + vector + string
+/// to 8 bytes. Lookups binary-search; inserts append to an unsorted
+/// tail that is merged on the first lookup after a batch of adds
+/// (same freeze-then-search discipline as the netsim address plane).
 class FingerprintStore {
  public:
-  void add(util::Ipv4 addr, DeviceObservation obs) {
-    observations_[addr] = std::move(obs);
+  void add(util::Ipv4 addr, DeviceObservation obs);
+  [[nodiscard]] const DeviceObservation* find(util::Ipv4 addr) const;
+  [[nodiscard]] std::size_t entries() const {
+    seal();
+    return index_.size();
   }
-  [[nodiscard]] const DeviceObservation* find(util::Ipv4 addr) const {
-    auto it = observations_.find(addr);
-    return it == observations_.end() ? nullptr : &it->second;
+  /// Number of distinct interned observations (diagnostic).
+  [[nodiscard]] std::size_t distinct_profiles() const {
+    return profiles_.size();
   }
-  [[nodiscard]] std::size_t entries() const { return observations_.size(); }
 
  private:
-  std::unordered_map<util::Ipv4, DeviceObservation> observations_;
+  void seal() const;  // merge tail_ into index_, last add per addr wins
+
+  std::vector<DeviceObservation> profiles_;  // interned, index-stable
+  // (addr, profile index); index_ sorted by addr, tail_ insertion order.
+  mutable std::vector<std::pair<util::Ipv4, std::uint32_t>> index_;
+  mutable std::vector<std::pair<util::Ipv4, std::uint32_t>> tail_;
 };
 
 struct SnapshotConfig {

@@ -516,6 +516,7 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
   netsim::SimConfig sim_cfg = cfg.sim;
   sim_cfg.seed = cfg.seed ^ 0xD1B54A32D192ED03ull;
   d->sim_ = std::make_unique<netsim::Simulator>(sim_cfg);
+  d->sim_->net().set_flat_addr_plane_enabled(cfg.flat_addr_plane);
 
   BuildState st;
   st.d = d.get();
@@ -680,7 +681,7 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
         if (d->forwarder_banks_.empty()) {
           d->forwarder_banks_.resize(netsim::Simulator::kVirtualShards);
         }
-        auto& bank = d->forwarder_banks_[st.sim->virtual_shard_of(addr)];
+        auto& bank = d->forwarder_banks_[st.sim->virtual_shard_of_as(asn)];
         if (!bank) bank = std::make_unique<nodes::ForwarderBank>(*st.sim);
         nodes::ForwarderBank::MemberConfig mc;
         mc.addr = addr;
@@ -907,6 +908,10 @@ std::unique_ptr<Deployment> TopologyBuilder::build(const TopologyConfig& cfg) {
   for (auto& bank : d->forwarder_banks_) {
     if (bank) bank->seal();
   }
+
+  // Merge the bulk address tail into the frozen lookup table now, off
+  // the packet path (and surface duplicate-address bugs at build time).
+  d->sim_->net().freeze_addr_plane();
 
   // IXP peering post-pass: each resolver project peers directly with a
   // project-specific fraction of national transit networks. Denser

@@ -63,7 +63,7 @@ TEST_P(RoutingProperty, HopCountEqualsSumOfInternalHops) {
   for (int trial = 0; trial < 60; ++trial) {
     const auto from = rng.pick(w.hosts);
     const auto to = rng.pick(w.hosts);
-    const auto dst = net.host(to).addrs.front();
+    const auto dst = net.primary_addr(to);
     const auto route = net.route(from, dst);
     ASSERT_TRUE(route.has_value());
     std::size_t expected = 0;
@@ -89,7 +89,7 @@ TEST_P(RoutingProperty, EveryRouterHopBelongsToAnAsOnThePath) {
   for (int trial = 0; trial < 40; ++trial) {
     const auto from = rng.pick(w.hosts);
     const auto to = rng.pick(w.hosts);
-    const auto route = net.route(from, net.host(to).addrs.front());
+    const auto route = net.route(from, net.primary_addr(to));
     ASSERT_TRUE(route.has_value());
     for (const auto hop : route->router_hops) {
       const auto owner = net.router_owner(hop);
@@ -120,7 +120,7 @@ TEST_P(RoutingProperty, ExactTtlDeliveryBoundary) {
   Rng rng{GetParam() ^ 3};
   const auto from = w.hosts[0];
   const auto to = w.hosts[w.hosts.size() - 1];
-  const auto dst = net.host(to).addrs.front();
+  const auto dst = net.primary_addr(to);
   const auto route = net.route(from, dst);
   ASSERT_TRUE(route.has_value());
   const int hops = static_cast<int>(route->router_hops.size());
@@ -157,7 +157,7 @@ TEST_P(RoutingProperty, TracerouteReconstructsTheRoute) {
   auto& net = w.sim.net();
   const auto from = w.hosts[1];
   const auto to = w.hosts[w.hosts.size() - 2];
-  const auto dst = net.host(to).addrs.front();
+  const auto dst = net.primary_addr(to);
   const auto route = net.route(from, dst);
   ASSERT_TRUE(route.has_value());
 
@@ -189,7 +189,7 @@ TEST_P(RoutingProperty, SpoofingOnlyEscapesSavFreeAses) {
     if (from == to) continue;
     const auto before = w.sim.counters().dropped_sav;
     SendOptions opts;
-    opts.dst = net.host(to).addrs.front();
+    opts.dst = net.primary_addr(to);
     opts.dst_port = 4000;
     opts.spoof_src = foreign;
     w.sim.send_udp(from, std::move(opts));

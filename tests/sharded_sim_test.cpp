@@ -385,6 +385,24 @@ TEST(MultiVantage, CaptureSpreadsAcrossShards) {
   EXPECT_EQ(set.stats().responses_received, total_captured);
 }
 
+TEST(MultiVantage, MembersPinToLightestShards) {
+  // Capture members are pure sinks, so their placement is free: the
+  // partition freeze must pin them to the shards the weighted LPT left
+  // light — the vantage shard is never the busiest one.
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    MiniWorld world(sharded_cfg(shards, false));
+    const HostId access_probe = world.add_access_host(Ipv4{20, 0, 9, 50});
+    std::vector<std::uint64_t> hints(Simulator::kVirtualShards, 1);
+    hints[3] = 500;  // the access AS dwarfs everything else
+    world.sim.set_partition_load_hints(hints);
+    const auto members = honeypot::attach_capture_vantages(
+        world.sim.net(), test::kScannerAsn, 1);
+    world.sim.set_vantage_capture(test::kScannerAddr, members);
+    const auto busiest = world.sim.shard_of(access_probe);
+    EXPECT_NE(world.sim.shard_of(members[0]), busiest) << "shards=" << shards;
+  }
+}
+
 TEST(ShardedDeterminism, WeightedPartitionKeepsResultsInvariant) {
   // The weighted virtual-shard placement is execution-only: any hint
   // vector must leave every observable output untouched.

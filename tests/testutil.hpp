@@ -45,12 +45,17 @@ namespace allocaudit {
 
 inline std::atomic<std::uint64_t> allocations{0};
 inline std::atomic<std::uint64_t> deallocations{0};
+/// Live heap bytes (allocated minus freed, usable sizes) — fed only by
+/// binaries whose replacement operators track sizes
+/// (tests/addr_plane_test.cpp); zero elsewhere.
+inline std::atomic<std::int64_t> live_bytes{0};
 
 class AllocationScope {
  public:
   AllocationScope()
       : start_allocs_(allocations.load(std::memory_order_relaxed)),
-        start_frees_(deallocations.load(std::memory_order_relaxed)) {}
+        start_frees_(deallocations.load(std::memory_order_relaxed)),
+        start_bytes_(live_bytes.load(std::memory_order_relaxed)) {}
 
   [[nodiscard]] std::uint64_t allocations_in_scope() const {
     return allocations.load(std::memory_order_relaxed) - start_allocs_;
@@ -58,10 +63,16 @@ class AllocationScope {
   [[nodiscard]] std::uint64_t deallocations_in_scope() const {
     return deallocations.load(std::memory_order_relaxed) - start_frees_;
   }
+  /// Net heap growth since scope start; negative if the scope freed
+  /// more than it allocated.
+  [[nodiscard]] std::int64_t live_bytes_in_scope() const {
+    return live_bytes.load(std::memory_order_relaxed) - start_bytes_;
+  }
 
  private:
   std::uint64_t start_allocs_;
   std::uint64_t start_frees_;
+  std::int64_t start_bytes_;
 };
 
 }  // namespace allocaudit
